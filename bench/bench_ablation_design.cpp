@@ -1,0 +1,159 @@
+// Ablations of OC-Bcast's design choices (the decisions §4 and §5.4 argue
+// for, measured on the simulated SCC):
+//
+//   1. fan-out k sweep — latency at small/medium sizes and peak throughput
+//      (k=7 as the paper's latency/contention trade-off);
+//   2. double buffering at fixed MPB budget — two 96-line buffers vs. one
+//      192-line buffer (latency gain, throughput-neutral per Formula 15);
+//   3. §5.4 leaf-direct-to-memory optimization the paper deliberately
+//      omitted — how much it would have helped;
+//   4. notification fan-out — the binary notification tree vs. having the
+//      parent set all k children's flags itself (sequential notify),
+//      validating the paper's "binary tree is latency-optimal" claim.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common/format.h"
+#include "harness/report.h"
+#include "harness/sweep.h"
+
+namespace {
+
+using namespace ocb;
+
+struct Variant {
+  const char* name;
+  core::BcastSpec spec;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  for (int k : {2, 3, 5, 7, 11, 16, 24, 32, 47}) {
+    core::BcastSpec s;
+    s.k = k;
+    out.push_back({"fanout", s});
+  }
+  {
+    core::BcastSpec s;  // double buffering (default): 2 x 96
+    out.push_back({"buffering_db96x2", s});
+    s.double_buffering = false;
+    s.chunk_lines = 192;
+    out.push_back({"buffering_single192", s});
+  }
+  {
+    core::BcastSpec s;
+    s.leaf_direct_to_memory = true;
+    out.push_back({"leaf_direct", s});
+  }
+  for (int k : {7, 16, 47}) {
+    core::BcastSpec s;
+    s.k = k;
+    s.sequential_notification = true;
+    out.push_back({"seq_notify", s});
+  }
+  {
+    // §5.4's alternative RMA design and its two-sided original.
+    core::BcastSpec s;
+    s.kind = core::BcastKind::kOneSidedScatterAllgather;
+    out.push_back({"onesided_sag", s});
+    s.kind = core::BcastKind::kScatterAllgather;
+    out.push_back({"twosided_sag", s});
+  }
+  return out;
+}
+
+struct Metrics {
+  double small_latency_us = 0.0;   // 1 line
+  double medium_latency_us = 0.0;  // 96 lines
+  double two_chunk_latency_us = 0.0;  // 192 lines (where buffering shows)
+  double peak_mbps = 0.0;          // 8192 lines
+};
+
+const Metrics& metrics_for(const core::BcastSpec& spec) {
+  static std::map<std::string, Metrics> cache;
+  const std::string key = core::spec_label(spec) + std::to_string(spec.chunk_lines);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Metrics m;
+    auto run = [&](std::size_t lines) {
+      harness::BcastRunSpec r;
+      r.algorithm = spec;
+      r.message_bytes = lines * kCacheLineBytes;
+      r.iterations = harness::default_iterations(lines);
+      return run_broadcast(r);
+    };
+    m.small_latency_us = run(1).latency_us.mean();
+    m.medium_latency_us = run(96).latency_us.mean();
+    m.two_chunk_latency_us = run(192).latency_us.mean();
+    m.peak_mbps = run(8192).throughput_mbps;
+    it = cache.emplace(key, m).first;
+  }
+  return it->second;
+}
+
+void bench_variant(benchmark::State& state, const Variant& v) {
+  for (auto _ : state) {
+    const Metrics& m = metrics_for(v.spec);
+    state.SetIterationTime(m.medium_latency_us * 1e-6);
+    state.counters["lat1_us"] = m.small_latency_us;
+    state.counters["lat96_us"] = m.medium_latency_us;
+    state.counters["lat192_us"] = m.two_chunk_latency_us;
+    state.counters["peak_mbps"] = m.peak_mbps;
+  }
+  state.SetLabel(std::string(v.name) + "/" + core::spec_label(v.spec));
+}
+
+void print_tables() {
+  TextTable table({"variant", "config", "latency_1CL_us", "latency_96CL_us",
+                   "latency_192CL_us", "peak_MBps"});
+  std::vector<std::vector<std::string>> csv;
+  for (const Variant& v : variants()) {
+    const Metrics& m = metrics_for(v.spec);
+    table.add_row({v.name, core::spec_label(v.spec),
+                   fmt_fixed(m.small_latency_us, 2),
+                   fmt_fixed(m.medium_latency_us, 2),
+                   fmt_fixed(m.two_chunk_latency_us, 2), fmt_fixed(m.peak_mbps, 2)});
+    csv.push_back({v.name, core::spec_label(v.spec),
+                   fmt_fixed(m.small_latency_us, 4),
+                   fmt_fixed(m.medium_latency_us, 4),
+                   fmt_fixed(m.two_chunk_latency_us, 4), fmt_fixed(m.peak_mbps, 4)});
+  }
+  std::printf("\n=== OC-Bcast design ablations (simulated SCC) ===\n%s",
+              table.str().c_str());
+  write_csv(harness::results_dir() + "/ablation_design.csv",
+            {"variant", "config", "latency_1cl_us", "latency_96cl_us",
+             "latency_192cl_us", "peak_mbps"},
+            csv);
+
+  std::printf("\nReadings:\n");
+  std::printf("  - fan-out: small-message latency is best at moderate k (tree depth\n"
+              "    vs. doneFlag polling); k=47 pays the 47-flag end poll (§5.2.3)\n"
+              "    and MPB contention at throughput (§6.2.2).\n");
+  std::printf("  - buffering: two 96-line buffers vs one 192-line buffer — latency\n"
+              "    moves, peak throughput does not (Formula 15 has no buffering\n"
+              "    term); see EXPERIMENTS.md for the discussion.\n");
+  std::printf("  - leaf-direct (§5.4, omitted by the paper): saves the leaf staging\n"
+              "    copy; the paper's authors valued uniformity over this gain.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Register one benchmark per variant. The heavy work is memoized, so the
+  // google-benchmark pass and the table pass run each config once.
+  static const std::vector<Variant> kVariants = variants();
+  for (const Variant& v : kVariants) {
+    benchmark::RegisterBenchmark(
+        (std::string("ablation/") + v.name + "/" + core::spec_label(v.spec)).c_str(),
+        [&v](benchmark::State& state) { bench_variant(state, v); })
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}

@@ -1,0 +1,193 @@
+// MPMD notification experiment — the paper's §7 ongoing work ("extending
+// OC-Bcast to handle the MPMD programming model by leveraging parallel
+// inter-core interrupts"), quantified.
+//
+// Scenario: the root sporadically broadcasts a 96-line payload while the
+// other 47 cores run an unrelated application in 10 µs compute quanta.
+// Three ways for the workers to learn a broadcast started:
+//
+//   spmd-block   workers sit inside bcast.run() (the SPMD baseline):
+//                best latency, zero background compute;
+//   mpmd-flag    workers poll their OC-Bcast notifyFlag between quanta:
+//                compute proceeds, but the notification TREE cascades at
+//                quantum granularity (each level waits for its parent's
+//                next poll), so latency grows with depth x quantum;
+//   mpmd-ipi     the root fires the parallel IPI tree; workers take the
+//                interrupt between quanta (cheap pending check) and
+//                forward in the handler — the cascade runs at interrupt
+//                speed, independent of the quantum.
+//
+// Reported per variant: mean broadcast latency and total compute quanta
+// achieved across all workers.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/format.h"
+#include "core/ipi_notifier.h"
+#include "core/ocbcast.h"
+#include "harness/report.h"
+#include "rma/flags.h"
+
+namespace {
+
+using namespace ocb;
+
+constexpr int kRounds = 12;
+constexpr std::size_t kLines = 96;
+constexpr sim::Duration kInterval = 500 * sim::kMicrosecond;
+constexpr sim::Duration kQuantum = 10 * sim::kMicrosecond;
+
+enum class Variant { kSpmdBlock, kMpmdFlag, kMpmdIpi };
+
+struct Outcome {
+  double mean_latency_us = 0.0;
+  std::uint64_t total_quanta = 0;
+  bool ok = true;
+};
+
+Outcome run_variant(Variant variant) {
+  scc::SccChip chip;
+  core::OcBcastOptions opt;
+  core::OcBcast bcast(chip, opt);
+  core::IpiNotifier notifier;
+  constexpr std::size_t kBytes = kLines * kCacheLineBytes;
+  for (int r = 0; r < kRounds; ++r) {
+    auto w = chip.memory(0).host_bytes(r * kBytes, kBytes);
+    for (std::size_t i = 0; i < kBytes; ++i) {
+      w[i] = static_cast<std::byte>((i + r * 31) & 0xff);
+    }
+  }
+
+  std::array<sim::Time, kRounds> start{};
+  std::array<sim::Time, kRounds> finish{};
+  std::uint64_t quanta = 0;
+
+  chip.spawn(0, [&, variant](scc::Core& me) -> sim::Task<void> {
+    for (int r = 0; r < kRounds; ++r) {
+      co_await me.busy(kInterval);
+      start[static_cast<std::size_t>(r)] = me.now();
+      if (variant == Variant::kMpmdIpi) co_await notifier.notify(me);
+      co_await bcast.run(me, 0, static_cast<std::size_t>(r) * kBytes, kBytes);
+    }
+  });
+
+  for (CoreId c = 1; c < kNumCores; ++c) {
+    chip.spawn(c, [&, variant](scc::Core& me) -> sim::Task<void> {
+      for (int r = 0; r < kRounds; ++r) {
+        // Learn that round r's broadcast has started.
+        switch (variant) {
+          case Variant::kSpmdBlock:
+            break;  // go straight into the collective and block there
+          case Variant::kMpmdFlag: {
+            // One chunk per message: the notifyFlag for round r carries
+            // sequence r+1. Poll it between compute quanta.
+            const rma::FlagValue want = static_cast<rma::FlagValue>(r) + 1;
+            for (;;) {
+              const rma::FlagValue v = co_await rma::read_flag(
+                  me, rma::MpbAddr{me.id(), bcast.notify_line()});
+              if (v >= want) break;
+              co_await me.busy(kQuantum);
+              ++quanta;
+            }
+            break;
+          }
+          case Variant::kMpmdIpi: {
+            for (;;) {
+              const bool woken = co_await notifier.try_await(me, 0);
+              if (woken) break;
+              co_await me.busy(kQuantum);
+              ++quanta;
+            }
+            break;
+          }
+        }
+        co_await bcast.run(me, 0, static_cast<std::size_t>(r) * kBytes, kBytes);
+        finish[static_cast<std::size_t>(r)] =
+            std::max(finish[static_cast<std::size_t>(r)], me.now());
+      }
+    });
+  }
+
+  const sim::RunResult run = chip.run();
+  Outcome out;
+  out.ok = run.completed();
+  if (!out.ok) return out;
+  double sum = 0.0;
+  for (int r = 0; r < kRounds; ++r) {
+    sum += sim::to_us(finish[static_cast<std::size_t>(r)] -
+                      start[static_cast<std::size_t>(r)]);
+  }
+  out.mean_latency_us = sum / kRounds;
+  out.total_quanta = quanta;
+  // Verify the last round's payload on every worker.
+  const auto want = chip.memory(0).host_bytes((kRounds - 1) * kBytes, kBytes);
+  for (CoreId c = 1; c < kNumCores; ++c) {
+    const auto got = chip.memory(c).host_bytes((kRounds - 1) * kBytes, kBytes);
+    if (!std::equal(want.begin(), want.end(), got.begin())) out.ok = false;
+  }
+  return out;
+}
+
+const Outcome& outcome_for(Variant v) {
+  static std::map<int, Outcome> cache;
+  auto it = cache.find(static_cast<int>(v));
+  if (it == cache.end()) it = cache.emplace(static_cast<int>(v), run_variant(v)).first;
+  return it->second;
+}
+
+constexpr const char* kNames[] = {"spmd-block", "mpmd-flag", "mpmd-ipi"};
+
+void bench_variant(benchmark::State& state) {
+  const auto v = static_cast<Variant>(state.range(0));
+  for (auto _ : state) {
+    const Outcome& o = outcome_for(v);
+    state.SetIterationTime(o.mean_latency_us * 1e-6);
+    state.counters["latency_us"] = o.mean_latency_us;
+    state.counters["compute_quanta"] = static_cast<double>(o.total_quanta);
+    state.counters["verified"] = o.ok ? 1 : 0;
+  }
+  state.SetLabel(kNames[state.range(0)]);
+}
+
+void print_table() {
+  TextTable table({"variant", "bcast_latency_us", "worker_compute_quanta",
+                   "verified"});
+  std::vector<std::vector<std::string>> csv;
+  for (int v = 0; v < 3; ++v) {
+    const Outcome& o = outcome_for(static_cast<Variant>(v));
+    table.add_row({kNames[v], fmt_fixed(o.mean_latency_us, 2),
+                   std::to_string(o.total_quanta), o.ok ? "yes" : "NO"});
+    csv.push_back({kNames[v], fmt_fixed(o.mean_latency_us, 4),
+                   std::to_string(o.total_quanta)});
+  }
+  std::printf("\n=== §7 MPMD notification: sporadic 96-line broadcasts into busy "
+              "workers ===\n%s",
+              table.str().c_str());
+  std::printf("\n(12 rounds, 500 us apart; 47 workers computing 10 us quanta.\n"
+              " spmd-block: latency floor, no background compute.\n"
+              " mpmd-flag: compute proceeds, but the notify tree cascades at\n"
+              "   quantum granularity -> latency ~ depth x quantum.\n"
+              " mpmd-ipi: the parallel interrupt tree restores near-SPMD latency\n"
+              "   while keeping the workers computing - the paper's §7 thesis.)\n");
+  write_csv(harness::results_dir() + "/extension_mpmd.csv",
+            {"variant", "latency_us", "compute_quanta"}, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int v = 0; v < 3; ++v) {
+    benchmark::RegisterBenchmark("extension/mpmd_notification", &bench_variant)
+        ->Args({v})
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

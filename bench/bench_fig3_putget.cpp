@@ -1,0 +1,136 @@
+// Figure 3 — put/get completion time vs. router distance for 1/4/8/16
+// cache lines, four panels:
+//   MPB-to-MPB get, MPB-to-MPB put (distances 1..9),
+//   MPB-to-memory get, memory-to-MPB put (distances 1..4),
+// each measured on the simulator (the paper's dots) next to the Figure 2
+// model prediction (the paper's lines). The two must agree essentially
+// exactly — this bench is the calibration proof.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common/format.h"
+#include "harness/measurement.h"
+#include "harness/report.h"
+#include "model/primitives.h"
+
+namespace {
+
+using namespace ocb;
+
+constexpr std::size_t kSizes[] = {1, 4, 8, 16};
+
+struct Panel {
+  const char* name;
+  harness::OpKind kind;
+  int max_distance;
+};
+
+constexpr Panel kPanels[] = {
+    {"mpb_to_mpb_get", harness::OpKind::kGetMpbToMpb, 9},
+    {"mpb_to_mpb_put", harness::OpKind::kPutMpbToMpb, 9},
+    {"mpb_to_mem_get", harness::OpKind::kGetMpbToMem, 4},
+    {"mem_to_mpb_put", harness::OpKind::kPutMemToMpb, 4},
+};
+
+scc::SccConfig bench_config() {
+  scc::SccConfig cfg;
+  cfg.cache_enabled = false;  // the model's put reads are cold
+  return cfg;
+}
+
+double model_us(const Panel& panel, std::size_t lines, int d) {
+  const model::ModelParams p = model::ModelParams::paper();
+  switch (panel.kind) {
+    case harness::OpKind::kGetMpbToMpb:
+      return sim::to_us(model::get_to_mpb_completion(p, lines, d));
+    case harness::OpKind::kPutMpbToMpb:
+      return sim::to_us(model::put_from_mpb_completion(p, lines, d));
+    case harness::OpKind::kGetMpbToMem:
+      return sim::to_us(model::get_to_mem_completion(p, lines, 1, d));
+    case harness::OpKind::kPutMemToMpb:
+      return sim::to_us(model::put_from_mem_completion(p, lines, d, 1));
+  }
+  return 0.0;
+}
+
+double measure_us(const Panel& panel, std::size_t lines, int d) {
+  static std::map<std::tuple<int, std::size_t, int>, double> cache;
+  const auto key = std::make_tuple(static_cast<int>(panel.kind), lines, d);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  double us = 0.0;
+  if (panel.kind == harness::OpKind::kGetMpbToMpb ||
+      panel.kind == harness::OpKind::kPutMpbToMpb) {
+    const auto [actor, target] = harness::core_pair_at_mpb_distance(d);
+    us = harness::measure_op_completion_us(bench_config(), panel.kind, actor,
+                                           target, lines, 8);
+  } else {
+    // Memory panels: d is the memory-controller distance; the MPB side is
+    // the actor's own buffer (d = 1), as in the paper's setup.
+    const CoreId c = harness::core_at_mem_distance(d);
+    us = harness::measure_op_completion_us(bench_config(), panel.kind, c, c,
+                                           lines, 8);
+  }
+  cache.emplace(key, us);
+  return us;
+}
+
+void bench_point(benchmark::State& state) {
+  const Panel& panel = kPanels[state.range(0)];
+  const auto lines = static_cast<std::size_t>(state.range(1));
+  const int d = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    const double us = measure_us(panel, lines, d);
+    state.SetIterationTime(us * 1e-6);
+    state.counters["sim_us"] = us;
+    state.counters["model_us"] = model_us(panel, lines, d);
+  }
+  state.SetLabel(panel.name);
+}
+
+void print_tables() {
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const Panel& panel : kPanels) {
+    TextTable table({"hops", "CL", "simulated_us", "model_us", "delta_%"});
+    for (int d = 1; d <= panel.max_distance; ++d) {
+      for (std::size_t lines : kSizes) {
+        const double sim_v = measure_us(panel, lines, d);
+        const double model_v = model_us(panel, lines, d);
+        const double delta = (sim_v - model_v) / model_v * 100.0;
+        table.add_row({std::to_string(d), std::to_string(lines),
+                       fmt_fixed(sim_v, 3), fmt_fixed(model_v, 3),
+                       fmt_fixed(delta, 2)});
+        csv_rows.push_back({panel.name, std::to_string(d), std::to_string(lines),
+                            fmt_fixed(sim_v, 4), fmt_fixed(model_v, 4)});
+      }
+    }
+    std::printf("\n=== Figure 3 panel: %s ===\n%s", panel.name, table.str().c_str());
+  }
+  write_csv(harness::results_dir() + "/fig3_putget.csv",
+            {"panel", "hops", "lines", "simulated_us", "model_us"}, csv_rows);
+  std::printf("\nPaper check: 9-hop vs 1-hop MPB get penalty should be ~30%%.\n");
+  const double ratio = measure_us(kPanels[0], 16, 9) / measure_us(kPanels[0], 16, 1);
+  std::printf("Measured 16-CL get ratio d=9/d=1: %.3f\n", ratio);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int p = 0; p < 4; ++p) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (int d = 1; d <= kPanels[p].max_distance; d += (p < 2 ? 4 : 1)) {
+        benchmark::RegisterBenchmark("fig3/panel", &bench_point)
+            ->Args({p, static_cast<long>(kSizes[s]), d})
+            ->UseManualTime()
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 8a — *measured* broadcast latency on the simulated SCC:
+// OC-Bcast k = 2/7/47 vs. the two-sided binomial tree, message sizes
+// 1..192 cache lines. Prints the full series, the paper's headline checks
+// (k=7 at least 27% better than binomial at 1 line; k=7 ~25% better than
+// k=2 for 96..192 lines; k=7 and k=47 nearly overlap), and writes CSV.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "harness/paper_data.h"
+#include "harness/report.h"
+#include "harness/sweep.h"
+
+namespace {
+
+using namespace ocb;
+
+core::BcastSpec spec_for(int series) {
+  core::BcastSpec spec;
+  if (series < 3) {
+    constexpr int kFanouts[] = {2, 7, 47};
+    spec.kind = core::BcastKind::kOcBcast;
+    spec.k = kFanouts[series];
+  } else {
+    spec.kind = core::BcastKind::kBinomial;
+  }
+  return spec;
+}
+
+const harness::SeriesPoint& point_for(int series, std::size_t lines) {
+  static std::map<std::pair<int, std::size_t>, harness::SeriesPoint> cache;
+  const auto key = std::make_pair(series, lines);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    harness::BcastRunSpec run;
+    run.algorithm = spec_for(series);
+    run.message_bytes = lines * kCacheLineBytes;
+    run.iterations = harness::default_iterations(lines);
+    const harness::BcastRunResult r = run_broadcast(run);
+    it = cache
+             .emplace(key, harness::SeriesPoint{lines, r.latency_us.mean(),
+                                                r.throughput_mbps, r.content_ok})
+             .first;
+  }
+  return it->second;
+}
+
+void bench_point(benchmark::State& state) {
+  const int series = static_cast<int>(state.range(0));
+  const auto lines = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    const harness::SeriesPoint& p = point_for(series, lines);
+    state.SetIterationTime(p.latency_us * 1e-6);
+    state.counters["latency_us"] = p.latency_us;
+    state.counters["verified"] = p.content_ok ? 1 : 0;
+  }
+  state.SetLabel(core::spec_label(spec_for(series)));
+}
+
+void print_tables() {
+  std::vector<harness::Series> all;
+  for (int s = 0; s < 4; ++s) {
+    harness::Series series;
+    series.label = core::spec_label(spec_for(s));
+    for (std::size_t lines : harness::small_message_sizes()) {
+      series.points.push_back(point_for(s, lines));
+    }
+    all.push_back(std::move(series));
+  }
+  std::printf("\n=== Figure 8a: measured broadcast latency (us) ===\n%s",
+              harness::render_latency_table(all).c_str());
+  harness::write_series_csv(harness::results_dir() + "/fig8a_latency.csv", all);
+
+  const double oc7_1 = point_for(1, 1).latency_us;
+  const double bin_1 = point_for(3, 1).latency_us;
+  const double oc2_144 = point_for(0, 144).latency_us;
+  const double oc7_144 = point_for(1, 144).latency_us;
+  const double oc47_96 = point_for(2, 96).latency_us;
+  const double oc7_96 = point_for(1, 96).latency_us;
+  std::printf("\nPaper §6.2.1 checks (measured on the simulated SCC):\n");
+  std::printf("  1-line latency k=7: %.2f us (paper measured %.1f us on silicon)\n",
+              oc7_1, harness::paper::kFig8aOcK7LatencyUs);
+  std::printf("  1-line latency binomial: %.2f us (paper %.1f us)\n", bin_1,
+              harness::paper::kFig8aBinomialLatencyUs);
+  std::printf("  k=7 improvement over binomial at 1 line: %.1f%% (paper: >= %.0f%%)\n",
+              (1.0 - oc7_1 / bin_1) * 100.0,
+              harness::paper::kMinLatencyImprovementPct);
+  std::printf("  k=7 improvement over k=2 at 144 lines: %.1f%% (paper: ~%.0f%%)\n",
+              (1.0 - oc7_144 / oc2_144) * 100.0,
+              harness::paper::kK7VsK2LargeMsgImprovementPct);
+  std::printf("  k=47 / k=7 latency at 96 lines: %.3f (paper: curves nearly overlap)\n",
+              oc47_96 / oc7_96);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int s = 0; s < 4; ++s) {
+    for (long lines : {1L, 48L, 96L, 144L, 192L}) {
+      benchmark::RegisterBenchmark("fig8a/latency", &bench_point)
+          ->Args({s, lines})
+          ->UseManualTime()
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}

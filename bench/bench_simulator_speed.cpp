@@ -1,0 +1,63 @@
+// Wall-clock performance of the simulator itself — the one bench in this
+// repository that measures REAL time, not simulated time. Useful when
+// sizing experiments: the paper-scale sweeps process tens of millions of
+// events, and this reports how fast this machine chews through them.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness/measurement.h"
+
+namespace {
+
+using namespace ocb;
+
+void bench_event_loop_throughput(benchmark::State& state) {
+  // A 48-core OC-Bcast of the given size; report events/second.
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    harness::BcastRunSpec spec;
+    spec.message_bytes = lines * kCacheLineBytes;
+    spec.iterations = 1;
+    spec.warmup = 0;
+    spec.verify = false;
+    const harness::BcastRunResult r = run_broadcast(spec);
+    events += r.events;
+  }
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["events_per_run"] =
+      static_cast<double>(events) / static_cast<double>(state.iterations());
+}
+BENCHMARK(bench_event_loop_throughput)
+    ->Arg(96)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("simulator/ocbcast_events");
+
+void bench_chip_construction(benchmark::State& state) {
+  for (auto _ : state) {
+    scc::SccChip chip;
+    benchmark::DoNotOptimize(&chip.engine());
+  }
+}
+BENCHMARK(bench_chip_construction)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("simulator/chip_construction");
+
+void bench_contention_experiment(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto r =
+        harness::measure_mpb_contention(scc::SccConfig{}, 48, 128, true, 4);
+    benchmark::DoNotOptimize(r.avg_us);
+  }
+}
+BENCHMARK(bench_contention_experiment)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("simulator/fig4_point_48cores");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Table 1 — recover the eight model parameters from simulated
+// measurements by least squares and print them beside the paper's values.
+//
+// This is the end-to-end calibration proof: the simulator's microscopic
+// decomposition (core overhead + port service + per-hop latency) is only
+// correct if the aggregate parameters fitted from black-box measurements
+// reproduce Table 1 exactly.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "harness/measurement.h"
+#include "harness/report.h"
+#include "model/fit.h"
+
+namespace {
+
+using namespace ocb;
+
+std::vector<model::OpSample> collect_samples() {
+  scc::SccConfig cfg;
+  cfg.cache_enabled = false;
+  std::vector<model::OpSample> samples;
+  for (std::size_t m : {1u, 4u, 8u, 16u}) {
+    for (int d : {1, 2, 3, 5, 7, 9}) {
+      const auto [actor, target] = harness::core_pair_at_mpb_distance(d);
+      samples.push_back({model::OpSample::Kind::kGetToMpb, m, d, 1,
+                         harness::measure_op_completion_us(
+                             cfg, harness::OpKind::kGetMpbToMpb, actor, target, m, 4)});
+      samples.push_back({model::OpSample::Kind::kPutFromMpb, m, 1, d,
+                         harness::measure_op_completion_us(
+                             cfg, harness::OpKind::kPutMpbToMpb, actor, target, m, 4)});
+    }
+    for (int d : {1, 2, 3, 4}) {
+      const CoreId c = harness::core_at_mem_distance(d);
+      samples.push_back({model::OpSample::Kind::kPutFromMem, m, d, 1,
+                         harness::measure_op_completion_us(
+                             cfg, harness::OpKind::kPutMemToMpb, c, c, m, 4)});
+      samples.push_back({model::OpSample::Kind::kGetToMem, m, 1, d,
+                         harness::measure_op_completion_us(
+                             cfg, harness::OpKind::kGetMpbToMem, c, c, m, 4)});
+    }
+  }
+  return samples;
+}
+
+const model::FitResult& fit_once() {
+  static const model::FitResult result = model::fit_model_params(collect_samples());
+  return result;
+}
+
+void bench_fit(benchmark::State& state) {
+  for (auto _ : state) {
+    const model::FitResult& r = fit_once();
+    state.SetIterationTime(std::max(r.max_relative_error, 1e-9));
+    state.counters["max_rel_error"] = r.max_relative_error;
+  }
+}
+BENCHMARK(bench_fit)->UseManualTime()->Iterations(1)->Name("table1/fit");
+
+void print_table() {
+  const model::FitResult& fit = fit_once();
+  const model::ModelParams paper = model::ModelParams::paper();
+  struct Row {
+    const char* name;
+    sim::Duration paper_v;
+    sim::Duration fitted_v;
+  };
+  const Row rows[] = {
+      {"L_hop", paper.l_hop, fit.params.l_hop},
+      {"o_mpb", paper.o_mpb, fit.params.o_mpb},
+      {"o_mem_w", paper.o_mem_w, fit.params.o_mem_w},
+      {"o_mem_r", paper.o_mem_r, fit.params.o_mem_r},
+      {"o_mpb_put", paper.o_put_mpb, fit.params.o_put_mpb},
+      {"o_mpb_get", paper.o_get_mpb, fit.params.o_get_mpb},
+      {"o_mem_put", paper.o_put_mem, fit.params.o_put_mem},
+      {"o_mem_get", paper.o_get_mem, fit.params.o_get_mem},
+  };
+  TextTable table({"parameter", "paper_us", "fitted_us"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const Row& r : rows) {
+    table.add_row({r.name, fmt_us_from_ps(r.paper_v), fmt_us_from_ps(r.fitted_v)});
+    csv_rows.push_back({r.name, fmt_us_from_ps(r.paper_v), fmt_us_from_ps(r.fitted_v)});
+  }
+  std::printf("\n=== Table 1: model parameters (paper vs. fitted from simulator) ===\n%s",
+              table.str().c_str());
+  std::printf("max relative fit error: %.2e\n", fit.max_relative_error);
+  write_csv(harness::results_dir() + "/table1_params.csv",
+            {"parameter", "paper_us", "fitted_us"}, csv_rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table 2 — *modeled* peak broadcast throughput: OC-Bcast with k = 2/7/47
+// (reconstructed complete model, 1 MiB message) and two-sided
+// scatter-allgather (Formula 16), beside the paper's published numbers
+// (35.22 / 34.30 / 35.88 / 13.38 MB/s). Formula 15's k-independent bound
+// is printed for reference.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/format.h"
+
+#include "harness/paper_data.h"
+#include "harness/report.h"
+#include "model/broadcast_model.h"
+
+namespace {
+
+using namespace ocb;
+
+const model::BroadcastModel& the_model() {
+  static const model::BroadcastModel m(model::ModelParams::paper(), {});
+  return m;
+}
+
+double value_for(int row) {
+  // rows 0..2: OC k=2/7/47; row 3: scatter-allgather (Formula 16).
+  constexpr int kFanouts[] = {2, 7, 47};
+  if (row < 3) return the_model().ocbcast_throughput_mbps(kFanouts[row]);
+  return the_model().formula16_throughput_mbps();
+}
+
+void bench_row(benchmark::State& state) {
+  const int row = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const double mbps = value_for(row);
+    // Report the modeled time to broadcast 1 MB at that throughput.
+    state.SetIterationTime(1.0 / mbps);
+    state.counters["model_mbps"] = mbps;
+  }
+  constexpr const char* kNames[] = {"oc k=2", "oc k=7", "oc k=47", "s-ag"};
+  state.SetLabel(kNames[row]);
+}
+
+void print_table() {
+  using harness::paper::table2_oc_mbps;
+  std::vector<harness::ComparisonRow> rows{
+      {"OC-Bcast k=2", table2_oc_mbps(2), value_for(0), "MB/s"},
+      {"OC-Bcast k=7", table2_oc_mbps(7), value_for(1), "MB/s"},
+      {"OC-Bcast k=47", table2_oc_mbps(47), value_for(2), "MB/s"},
+      {"scatter-allgather", harness::paper::kTable2ScatterAllgatherMbps,
+       value_for(3), "MB/s"},
+  };
+  std::printf("\n=== Table 2: modeled peak broadcast throughput ===\n%s",
+              harness::render_comparison(rows).c_str());
+  std::printf("Formula 15 bound (k-independent): %.2f MB/s\n",
+              the_model().formula15_throughput_mbps());
+  std::printf("OC-Bcast / scatter-allgather ratio: %.2f (paper: almost 3x)\n",
+              value_for(1) / value_for(3));
+  std::vector<std::vector<std::string>> csv;
+  for (const auto& r : rows) {
+    csv.push_back({r.quantity, fmt_fixed(r.paper_value, 2),
+                   fmt_fixed(r.measured_value, 2)});
+  }
+  write_csv(harness::results_dir() + "/table2_model_throughput.csv",
+            {"algorithm", "paper_mbps", "model_mbps"}, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int row = 0; row < 4; ++row) {
+    benchmark::RegisterBenchmark("table2/model_throughput", &bench_row)
+        ->Args({row})
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

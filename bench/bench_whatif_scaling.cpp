@@ -1,0 +1,125 @@
+// What-if scaling — probing the paper's conclusion that "collective
+// operations for message-passing many-core chips should be based on
+// one-sided communication ... to take full advantage of hardware features
+// of future many-core architectures".
+//
+// Each scenario rescales one part of the machine (cores, mesh, memory, or
+// all) and re-runs the OC-Bcast / binomial / scatter-allgather comparison.
+// The interesting question is where the OC advantage comes from: if it
+// were a software-overhead artifact it would shrink with faster cores; if
+// it is the off-chip-movement argument the paper makes (Formula 13 vs
+// 14), it should *grow* when cores and mesh outpace memory — the expected
+// trajectory of real many-cores.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common/format.h"
+#include "harness/report.h"
+#include "harness/sweep.h"
+
+namespace {
+
+using namespace ocb;
+
+struct Scenario {
+  const char* name;
+  double core, mesh, mem;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"baseline (SCC 533/800)", 1, 1, 1},
+    {"2x cores", 2, 1, 1},
+    {"2x mesh", 1, 2, 1},
+    {"2x memory", 1, 1, 2},
+    {"2x everything", 2, 2, 2},
+    {"future: 4x cores+mesh, memory lags", 4, 4, 1.5},
+};
+
+struct Row {
+  double oc_latency_us = 0.0;   // 96 lines
+  double oc_peak = 0.0;         // 8192 lines, MB/s
+  double binomial_latency_us = 0.0;
+  double sag_peak = 0.0;
+  bool ok = true;
+};
+
+const Row& row_for(int scenario) {
+  static std::map<int, Row> cache;
+  auto it = cache.find(scenario);
+  if (it != cache.end()) return it->second;
+  const Scenario& s = kScenarios[scenario];
+  const scc::SccConfig cfg = scc::SccConfig{}.scaled(s.core, s.mesh, s.mem);
+  Row row;
+  auto run = [&](core::BcastKind kind, std::size_t lines) {
+    harness::BcastRunSpec spec;
+    spec.algorithm.kind = kind;
+    spec.config = cfg;
+    spec.message_bytes = lines * kCacheLineBytes;
+    spec.iterations = harness::default_iterations(lines);
+    const harness::BcastRunResult r = run_broadcast(spec);
+    row.ok = row.ok && r.content_ok;
+    return r;
+  };
+  row.oc_latency_us = run(core::BcastKind::kOcBcast, 96).latency_us.mean();
+  row.oc_peak = run(core::BcastKind::kOcBcast, 8192).throughput_mbps;
+  row.binomial_latency_us =
+      run(core::BcastKind::kBinomial, 96).latency_us.mean();
+  row.sag_peak = run(core::BcastKind::kScatterAllgather, 8192).throughput_mbps;
+  return cache.emplace(scenario, row).first->second;
+}
+
+void bench_scenario(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const Row& r = row_for(s);
+    state.SetIterationTime(r.oc_latency_us * 1e-6);
+    state.counters["oc_peak_mbps"] = r.oc_peak;
+    state.counters["sag_peak_mbps"] = r.sag_peak;
+    state.counters["peak_ratio"] = r.oc_peak / r.sag_peak;
+  }
+  state.SetLabel(kScenarios[state.range(0)].name);
+}
+
+void print_table() {
+  TextTable table({"scenario", "oc_lat96_us", "bin_lat96_us", "lat_gain",
+                   "oc_peak_MBps", "sag_peak_MBps", "peak_ratio", "ok"});
+  std::vector<std::vector<std::string>> csv;
+  for (int s = 0; s < static_cast<int>(std::size(kScenarios)); ++s) {
+    const Row& r = row_for(s);
+    table.add_row({kScenarios[s].name, fmt_fixed(r.oc_latency_us, 1),
+                   fmt_fixed(r.binomial_latency_us, 1),
+                   fmt_fixed(1.0 - r.oc_latency_us / r.binomial_latency_us, 2),
+                   fmt_fixed(r.oc_peak, 2), fmt_fixed(r.sag_peak, 2),
+                   fmt_fixed(r.oc_peak / r.sag_peak, 2), r.ok ? "yes" : "NO"});
+    csv.push_back({kScenarios[s].name, fmt_fixed(r.oc_latency_us, 3),
+                   fmt_fixed(r.binomial_latency_us, 3), fmt_fixed(r.oc_peak, 3),
+                   fmt_fixed(r.sag_peak, 3)});
+  }
+  std::printf("\n=== What-if scaling: where does the OC advantage come from? ===\n%s",
+              table.str().c_str());
+  std::printf("\nReading: the peak ratio holds (or grows) as cores and mesh\n"
+              "outpace memory, because OC-Bcast's advantage is its lower count\n"
+              "of off-chip movements on the critical path (Formula 13 vs 14/16)\n"
+              "- the paper's thesis about future many-core chips.\n");
+  write_csv(harness::results_dir() + "/whatif_scaling.csv",
+            {"scenario", "oc_lat96_us", "bin_lat96_us", "oc_peak", "sag_peak"},
+            csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int s = 0; s < static_cast<int>(std::size(kScenarios)); ++s) {
+    benchmark::RegisterBenchmark("whatif/scaling", &bench_scenario)
+        ->Args({s})
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Renders a per-core text timeline (a Gantt chart in ASCII) of one small
+// OC-Bcast using the chip's trace facility — the notification cascade, the
+// parallel MPB gets, and the trailing memory copies become visible.
+//
+// Legend:  .  idle      o  software overhead / compute
+//          R  MPB read  W  MPB write   m  memory read  M  memory write
+//          c  cache hit
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/ocbcast.h"
+#include "scc/trace.h"
+
+using namespace ocb;
+
+int main() {
+  scc::SccChip chip;
+  std::vector<scc::TraceEvent> events;
+  chip.set_trace_sink([&](const scc::TraceEvent& e) { events.push_back(e); });
+
+  // A 12-core k=3 broadcast of 8 lines keeps the picture readable.
+  core::OcBcastOptions opt;
+  opt.parties = 12;
+  opt.k = 3;
+  core::OcBcast bcast(chip, opt);
+  const std::size_t bytes = 8 * kCacheLineBytes;
+  auto seed = chip.memory(0).host_bytes(0, bytes);
+  for (std::size_t i = 0; i < bytes; ++i) seed[i] = static_cast<std::byte>(i);
+  for (CoreId c = 0; c < opt.parties; ++c) {
+    chip.spawn(c, [&bcast, bytes](scc::Core& me) -> sim::Task<void> {
+      co_await bcast.run(me, 0, 0, bytes);
+    });
+  }
+  const sim::RunResult run = chip.run();
+  if (!run.completed()) {
+    std::fprintf(stderr, "deadlock\n");
+    return 1;
+  }
+
+  sim::Time horizon = 0;
+  for (const auto& e : events) horizon = std::max(horizon, e.end);
+  constexpr int kColumns = 110;
+  const double scale = static_cast<double>(kColumns) / static_cast<double>(horizon);
+
+  auto glyph = [](scc::TraceOp op) {
+    switch (op) {
+      case scc::TraceOp::kBusy:
+        return 'o';
+      case scc::TraceOp::kMpbRead:
+        return 'R';
+      case scc::TraceOp::kMpbWrite:
+        return 'W';
+      case scc::TraceOp::kMemRead:
+        return 'm';
+      case scc::TraceOp::kMemWrite:
+        return 'M';
+      case scc::TraceOp::kCacheHit:
+        return 'c';
+    }
+    return '?';
+  };
+
+  std::vector<std::string> rows(static_cast<std::size_t>(opt.parties),
+                                std::string(kColumns, '.'));
+  for (const auto& e : events) {
+    auto& row = rows[static_cast<std::size_t>(e.core)];
+    const int from = static_cast<int>(static_cast<double>(e.start) * scale);
+    int to = static_cast<int>(static_cast<double>(e.end) * scale);
+    to = std::max(to, from + 1);
+    for (int x = from; x < to && x < kColumns; ++x) row[static_cast<std::size_t>(x)] = glyph(e.op);
+  }
+
+  std::printf("OC-Bcast (12 cores, k=3, 8 lines) — %llu trace events over %.2f us\n\n",
+              static_cast<unsigned long long>(events.size()), sim::to_us(horizon));
+  std::printf("      0 us %*s %.2f us\n", kColumns - 12, "", sim::to_us(horizon));
+  for (CoreId c = 0; c < opt.parties; ++c) {
+    std::printf("core%2d %s\n", c, rows[static_cast<std::size_t>(c)].c_str());
+  }
+  std::printf("\nlegend: o overhead  R mpb-read  W mpb-write  m mem-read  "
+              "M mem-write  c cache-hit  . idle\n");
+  std::printf("\nRead it top-down: the root (core 0) stages the chunk (m/W),\n"
+              "notification Ws fan out through the binary tree, children R the\n"
+              "chunk in parallel, and every core finishes with the M block (copy\n"
+              "to private memory) — the paper's critical path, drawn by the\n"
+              "simulator itself.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "common/format.h"
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace ocb {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) width[i] = std::max(width[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[i])) << cell;
+      if (i + 1 < cols) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t i = 0; i < cols; ++i) rule += width[i] + (i + 1 < cols ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string fmt_us_from_ps(std::uint64_t picoseconds) {
+  return fmt_fixed(static_cast<double>(picoseconds) / 1e6, 3);
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  OCB_REQUIRE(out.good(), "cannot open CSV output file: " + path);
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) out << ',';
+      out << r[i];
+    }
+    out << '\n';
+  };
+  emit(header);
+  for (const auto& r : rows) emit(r);
+  OCB_REQUIRE(out.good(), "CSV write failed: " + path);
+}
+
+}  // namespace ocb

@@ -1,0 +1,39 @@
+// Plain-text table formatting used by benches and examples to print the
+// paper's tables/figures as aligned ASCII, plus CSV emission for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ocb {
+
+/// Builds an aligned monospace table. Rows may be ragged; missing cells
+/// render empty. Numeric formatting is the caller's responsibility.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to the widest cell.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros is NOT done (stable column widths matter more here).
+std::string fmt_fixed(double value, int digits);
+
+/// Formats picoseconds as microseconds with 3 decimals (the paper's unit).
+std::string fmt_us_from_ps(std::uint64_t picoseconds);
+
+/// Writes rows as CSV to a file; throws PreconditionError on I/O failure.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ocb

@@ -1,0 +1,17 @@
+#include "common/require.h"
+
+#include <sstream>
+
+namespace ocb::detail {
+
+void require_failed(const char* expr, const char* file, int line,
+                    const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw PreconditionError(os.str());
+}
+
+}  // namespace ocb::detail

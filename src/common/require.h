@@ -1,0 +1,39 @@
+// Precondition checking for the ocbcast library.
+//
+// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+// preconditions", E.12), programmer errors are reported eagerly and loudly.
+// OCB_REQUIRE throws ocb::PreconditionError with the failing expression and
+// source location; it is enabled in all build types because the simulator is
+// a correctness tool, not a hot production path (the per-event cost of a
+// predictable branch is negligible).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ocb {
+
+/// Thrown when a documented API precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const std::string& message);
+}  // namespace detail
+
+}  // namespace ocb
+
+/// Checks a documented precondition; throws ocb::PreconditionError on failure.
+#define OCB_REQUIRE(expr, message)                                         \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::ocb::detail::require_failed(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check; identical behaviour, distinct spelling so that
+/// readers can tell API misuse (REQUIRE) from library bugs (ENSURE).
+#define OCB_ENSURE(expr, message) OCB_REQUIRE(expr, message)

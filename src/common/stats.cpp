@@ -1,0 +1,68 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace ocb {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  OCB_REQUIRE(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  OCB_REQUIRE(n_ > 0, "variance of empty accumulator");
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  OCB_REQUIRE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  OCB_REQUIRE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+void SampleStats::add(double x) {
+  running_.add(x);
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double SampleStats::percentile(double p) const {
+  OCB_REQUIRE(!samples_.empty(), "percentile of empty accumulator");
+  OCB_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of [0,100]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0.0) return samples_.front();
+  const auto n = samples_.size();
+  // Nearest-rank: smallest index i with (i+1)/n >= p/100.
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+}  // namespace ocb

@@ -1,0 +1,56 @@
+// Small statistics accumulators used by the experiment harness and the
+// contention benchmarks (mean / min / max / stddev / percentiles over
+// simulated-time samples).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ocb {
+
+/// Streaming accumulator: O(1) memory, Welford mean/variance, min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample-retaining accumulator: adds exact percentiles on top of
+/// RunningStats. Fine for the sample counts the harness produces.
+class SampleStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return running_.count(); }
+  double mean() const { return running_.mean(); }
+  double stddev() const { return running_.stddev(); }
+  double min() const { return running_.min(); }
+  double max() const { return running_.max(); }
+
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  RunningStats running_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace ocb

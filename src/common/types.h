@@ -1,0 +1,64 @@
+// Fundamental SCC-wide types and constants shared by every module.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace ocb {
+
+/// Identifier of one of the 48 SCC cores (0..47). Two cores share a tile:
+/// cores 2t and 2t+1 live on tile t.
+using CoreId = int;
+
+/// Number of cores on the SCC.
+inline constexpr int kNumCores = 48;
+
+/// Number of tiles (two cores each).
+inline constexpr int kNumTiles = 24;
+
+/// Mesh dimensions: 6 columns x 4 rows of tiles.
+inline constexpr int kMeshCols = 6;
+inline constexpr int kMeshRows = 4;
+
+/// The unit of data transmission on the SCC: one 32-byte cache line.
+inline constexpr std::size_t kCacheLineBytes = 32;
+
+/// Per-core Message Passing Buffer capacity: 8 KB = 256 cache lines.
+/// (Each 16 KB tile MPB is split equally between its two cores.)
+inline constexpr std::size_t kMpbBytesPerCore = 8 * 1024;
+inline constexpr std::size_t kMpbCacheLines = kMpbBytesPerCore / kCacheLineBytes;
+
+/// One 32-byte cache line of payload. Value type; copies are cheap and the
+/// simulator moves data through MPBs and private memory in these units,
+/// mirroring the SCC's packet granularity.
+struct CacheLine {
+  std::array<std::byte, kCacheLineBytes> bytes{};
+
+  friend bool operator==(const CacheLine&, const CacheLine&) = default;
+};
+
+/// Number of cache lines needed to hold `bytes` bytes (ceiling division).
+constexpr std::size_t cache_lines_for(std::size_t bytes) {
+  return (bytes + kCacheLineBytes - 1) / kCacheLineBytes;
+}
+
+/// Copies up to kCacheLineBytes from `src` into a cache line, zero-padding
+/// the tail. Used when staging a partial final line of a message.
+inline CacheLine cache_line_from(std::span<const std::byte> src) {
+  CacheLine cl{};
+  const std::size_t n = src.size() < kCacheLineBytes ? src.size() : kCacheLineBytes;
+  if (n > 0) std::memcpy(cl.bytes.data(), src.data(), n);
+  return cl;
+}
+
+/// Copies up to kCacheLineBytes of a cache line into `dst` (bounded by
+/// dst.size()).
+inline void cache_line_to(const CacheLine& cl, std::span<std::byte> dst) {
+  const std::size_t n = dst.size() < kCacheLineBytes ? dst.size() : kCacheLineBytes;
+  if (n > 0) std::memcpy(dst.data(), cl.bytes.data(), n);
+}
+
+}  // namespace ocb

@@ -1,0 +1,66 @@
+#include "core/bcast.h"
+
+#include <sstream>
+
+#include "common/require.h"
+#include "core/binomial.h"
+#include "core/ocbcast.h"
+#include "core/onesided_sag.h"
+#include "core/scatter_allgather.h"
+
+namespace ocb::core {
+
+std::unique_ptr<BroadcastAlgorithm> make_broadcast(scc::SccChip& chip,
+                                                   const BcastSpec& spec) {
+  switch (spec.kind) {
+    case BcastKind::kOcBcast: {
+      OcBcastOptions o;
+      o.parties = spec.parties;
+      o.k = spec.k;
+      o.chunk_lines = spec.chunk_lines;
+      o.double_buffering = spec.double_buffering;
+      o.leaf_direct_to_memory = spec.leaf_direct_to_memory;
+      o.sequential_notification = spec.sequential_notification;
+      return std::make_unique<OcBcast>(chip, o);
+    }
+    case BcastKind::kBinomial: {
+      BinomialOptions o;
+      o.parties = spec.parties;
+      return std::make_unique<BinomialBcast>(chip, o);
+    }
+    case BcastKind::kScatterAllgather: {
+      ScatterAllgatherOptions o;
+      o.parties = spec.parties;
+      return std::make_unique<ScatterAllgatherBcast>(chip, o);
+    }
+    case BcastKind::kOneSidedScatterAllgather: {
+      OneSidedSagOptions o;
+      o.parties = spec.parties;
+      return std::make_unique<OneSidedScatterAllgather>(chip, o);
+    }
+  }
+  OCB_ENSURE(false, "unknown broadcast kind");
+  return nullptr;
+}
+
+std::string spec_label(const BcastSpec& spec) {
+  switch (spec.kind) {
+    case BcastKind::kOcBcast: {
+      std::ostringstream os;
+      os << "k=" << spec.k;
+      if (!spec.double_buffering) os << " (1buf)";
+      if (spec.leaf_direct_to_memory) os << " (leaf-direct)";
+      if (spec.sequential_notification) os << " (seq-notify)";
+      return os.str();
+    }
+    case BcastKind::kBinomial:
+      return "binomial";
+    case BcastKind::kScatterAllgather:
+      return "s-ag";
+    case BcastKind::kOneSidedScatterAllgather:
+      return "os-sag";
+  }
+  return "?";
+}
+
+}  // namespace ocb::core

@@ -1,0 +1,65 @@
+// Common broadcast-algorithm interface.
+//
+// MPI-style collective contract: every participating core calls run() with
+// matching arguments (same root, same byte count); the root's private
+// memory at [offset, offset+bytes) holds the message, every other core's
+// same region receives it. run() returns (per core) when that core is done
+// per the algorithm's semantics — the paper's latency is the time at which
+// the *last* core returns.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "scc/chip.h"
+#include "sim/task.h"
+
+namespace ocb::core {
+
+class BroadcastAlgorithm {
+ public:
+  virtual ~BroadcastAlgorithm() = default;
+
+  /// Human-readable name ("oc-bcast k=7", "binomial", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of participating cores (ids 0..parties-1).
+  virtual int parties() const = 0;
+
+  /// The collective call; invoke once per participating core per broadcast.
+  virtual sim::Task<void> run(scc::Core& self, CoreId root, std::size_t offset,
+                              std::size_t bytes) = 0;
+};
+
+/// Which algorithm to instantiate (factory in bcast.cpp).
+enum class BcastKind {
+  kOcBcast,          ///< the paper's contribution (§4)
+  kBinomial,         ///< RCCE_comm binomial tree on two-sided send/recv
+  kScatterAllgather, ///< RCCE_comm scatter-allgather on two-sided send/recv
+  /// Extension (paper §5.4's suggestion): scatter-allgather re-built on
+  /// one-sided primitives with MPB staging.
+  kOneSidedScatterAllgather,
+};
+
+struct BcastSpec {
+  BcastKind kind = BcastKind::kOcBcast;
+  int parties = kNumCores;
+  // OC-Bcast specific:
+  int k = 7;
+  std::size_t chunk_lines = 96;
+  bool double_buffering = true;
+  bool leaf_direct_to_memory = false;
+  bool sequential_notification = false;
+};
+
+/// Creates the algorithm over `chip`. Algorithms own their MPB layout and
+/// protocol state; run at most one algorithm instance per chip lifetime
+/// (their flag lines overlap by design — each assumes exclusive use).
+std::unique_ptr<BroadcastAlgorithm> make_broadcast(scc::SccChip& chip,
+                                                   const BcastSpec& spec);
+
+/// Short display name for a spec ("k=7", "binomial", "s-ag"), matching the
+/// paper's figure legends.
+std::string spec_label(const BcastSpec& spec);
+
+}  // namespace ocb::core

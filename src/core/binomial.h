@@ -1,0 +1,39 @@
+// RCCE_comm binomial-tree broadcast (two-sided baseline, paper §5.2.2).
+//
+// Recursive halving over root-relative ranks: the root sends the whole
+// message to the "far half", then both halves recurse — MPICH's binomial
+// schedule. Every hop is a blocking two-sided send/recv pair through the
+// receiver's MPB (rma::TwoSided, 251-line chunks), so each tree level pays
+// C_put^mem + C_get^mem per chunk — the cost structure of Formula 14. A
+// non-root sender forwards the message it just wrote to memory, so its put
+// reads come from the (simulated) data cache, matching the paper's L1
+// assumption.
+#pragma once
+
+#include <memory>
+
+#include "core/bcast.h"
+#include "rma/twosided.h"
+
+namespace ocb::core {
+
+struct BinomialOptions {
+  int parties = kNumCores;
+  rma::TwoSidedLayout layout{};
+};
+
+class BinomialBcast final : public BroadcastAlgorithm {
+ public:
+  BinomialBcast(scc::SccChip& chip, BinomialOptions options = {});
+
+  std::string name() const override { return "binomial"; }
+  int parties() const override { return options_.parties; }
+  sim::Task<void> run(scc::Core& self, CoreId root, std::size_t offset,
+                      std::size_t bytes) override;
+
+ private:
+  BinomialOptions options_;
+  std::unique_ptr<rma::TwoSided> twosided_;
+};
+
+}  // namespace ocb::core

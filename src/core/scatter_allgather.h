@@ -1,0 +1,43 @@
+// RCCE_comm scatter-allgather broadcast (two-sided baseline, paper §5.3.2).
+//
+// Phase 1 (scatter): a binary recursive tree partitions the message into P
+// contiguous slices of ceil(m/P) lines; the holder of a rank range sends
+// the upper half-range's slices — one send — to the half's sub-root, so
+// the root pushes out P-1 slices total along its log2(P) sends.
+//
+// Phase 2 (allgather): the Bruck-style shift ring the paper describes —
+// P-1 rounds; in round t, rank r sends slice (r+t-1) mod P to rank r-1 and
+// receives slice (r+t) mod P from rank r+1. Even ranks send-first, odd
+// ranks receive-first, which breaks the rendezvous cycle on the ring.
+//
+// Empty tail slices (m not divisible by P) are skipped identically on both
+// sides, so the pairwise send/recv matching is preserved for any size.
+#pragma once
+
+#include <memory>
+
+#include "core/bcast.h"
+#include "rma/twosided.h"
+
+namespace ocb::core {
+
+struct ScatterAllgatherOptions {
+  int parties = kNumCores;
+  rma::TwoSidedLayout layout{};
+};
+
+class ScatterAllgatherBcast final : public BroadcastAlgorithm {
+ public:
+  ScatterAllgatherBcast(scc::SccChip& chip, ScatterAllgatherOptions options = {});
+
+  std::string name() const override { return "scatter-allgather"; }
+  int parties() const override { return options_.parties; }
+  sim::Task<void> run(scc::Core& self, CoreId root, std::size_t offset,
+                      std::size_t bytes) override;
+
+ private:
+  ScatterAllgatherOptions options_;
+  std::unique_ptr<rma::TwoSided> twosided_;
+};
+
+}  // namespace ocb::core

@@ -1,0 +1,252 @@
+#include "harness/measurement.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "noc/memctrl.h"
+#include "rma/rma.h"
+#include "sim/condition.h"
+
+namespace ocb::harness {
+
+namespace {
+
+/// Fills a host-visible region with a deterministic per-(seed) pattern.
+void fill_pattern(std::span<std::byte> region, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::size_t i = 0;
+  while (i + 8 <= region.size()) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(region.data() + i, &v, 8);
+    i += 8;
+  }
+  for (; i < region.size(); ++i) {
+    region[i] = static_cast<std::byte>(rng.next() & 0xff);
+  }
+}
+
+}  // namespace
+
+BcastRunResult run_broadcast(const BcastRunSpec& spec) {
+  OCB_REQUIRE(spec.message_bytes > 0, "empty message");
+  OCB_REQUIRE(spec.iterations >= 1, "need at least one measured iteration");
+  OCB_REQUIRE(spec.warmup >= 0, "negative warmup");
+
+  scc::SccChip chip(spec.config);
+  std::unique_ptr<core::BroadcastAlgorithm> algo =
+      core::make_broadcast(chip, spec.algorithm);
+  const int parties = algo->parties();
+  const int total = spec.warmup + spec.iterations;
+
+  // One fresh slot per iteration so no simulated cache can serve the root's
+  // reads (§6.1); host seeding does not touch the simulated caches.
+  const std::size_t stride =
+      cache_lines_for(spec.message_bytes) * kCacheLineBytes;
+  OCB_REQUIRE(static_cast<std::size_t>(total) * stride <=
+                  spec.config.private_memory_limit / 4 * 3,
+              "iterations * message size exceed the private-memory budget; "
+              "lower the iteration count for this size");
+  auto slot_offset = [stride](int iteration) {
+    return static_cast<std::size_t>(iteration) * stride;
+  };
+
+  // Seed every slot of the root with a distinct pattern.
+  for (int it = 0; it < total; ++it) {
+    fill_pattern(chip.memory(spec.root).host_bytes(slot_offset(it), spec.message_bytes),
+                 0xfeed0000u + static_cast<std::uint64_t>(it));
+  }
+
+  sim::Rendezvous rendezvous(chip.engine(), static_cast<std::size_t>(parties));
+  std::vector<sim::Time> start(static_cast<std::size_t>(total), 0);
+  std::vector<std::vector<sim::Time>> finish(
+      static_cast<std::size_t>(total),
+      std::vector<sim::Time>(static_cast<std::size_t>(parties), 0));
+
+  for (CoreId c = 0; c < parties; ++c) {
+    chip.spawn(c, [&, total](scc::Core& me) -> sim::Task<void> {
+      for (int it = 0; it < total; ++it) {
+        co_await rendezvous.arrive();
+        start[static_cast<std::size_t>(it)] = me.now();
+        co_await algo->run(me, spec.root, slot_offset(it), spec.message_bytes);
+        finish[static_cast<std::size_t>(it)][static_cast<std::size_t>(me.id())] =
+            me.now();
+      }
+    });
+  }
+
+  const sim::RunResult run = chip.run();
+  OCB_ENSURE(run.completed(),
+             "broadcast deadlocked: " + std::to_string(run.stalled_processes) +
+                 " cores never returned (algorithm protocol bug)");
+
+  BcastRunResult out;
+  out.events = run.events_processed;
+  out.simulated_ms = sim::to_seconds(run.end_time) * 1e3;
+  for (int it = spec.warmup; it < total; ++it) {
+    const auto i = static_cast<std::size_t>(it);
+    const sim::Time last = *std::max_element(finish[i].begin(), finish[i].end());
+    OCB_ENSURE(last >= start[i], "negative iteration interval");
+    out.latency_us.add(sim::to_us(last - start[i]));
+  }
+  out.throughput_mbps =
+      static_cast<double>(spec.message_bytes) / out.latency_us.mean();
+
+  if (spec.verify) {
+    for (int it = spec.warmup; it < total; ++it) {
+      const auto root_bytes =
+          chip.memory(spec.root).host_bytes(slot_offset(it), spec.message_bytes);
+      for (CoreId c = 0; c < parties; ++c) {
+        if (c == spec.root) continue;
+        const auto got =
+            chip.memory(c).host_bytes(slot_offset(it), spec.message_bytes);
+        if (!std::equal(root_bytes.begin(), root_bytes.end(), got.begin())) {
+          out.content_ok = false;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::pair<CoreId, CoreId> core_pair_at_mpb_distance(int d) {
+  for (CoreId a = 0; a < kNumCores; ++a) {
+    for (CoreId b = 0; b < kNumCores; ++b) {
+      if (a == b) continue;  // prefer distinct cores (d=1 = tile-mate access)
+      if (noc::routers_traversed(noc::tile_of_core(a), noc::tile_of_core(b)) == d) {
+        return {a, b};
+      }
+    }
+  }
+  OCB_REQUIRE(false, "no core pair at requested MPB distance");
+  return {0, 0};
+}
+
+CoreId core_at_mem_distance(int d) {
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    if (noc::mem_distance(c) == d) return c;
+  }
+  OCB_REQUIRE(false, "no core at requested memory distance");
+  return 0;
+}
+
+double measure_op_completion_us(const scc::SccConfig& config, OpKind kind,
+                                CoreId actor, CoreId target, std::size_t lines,
+                                int iterations) {
+  OCB_REQUIRE(iterations >= 1, "need at least one iteration");
+  OCB_REQUIRE(lines >= 1 && lines <= kMpbCacheLines, "line count out of range");
+  scc::SccChip chip(config);
+  RunningStats stats;
+  chip.spawn(actor, [&](scc::Core& me) -> sim::Task<void> {
+    for (int it = 0; it < iterations; ++it) {
+      // Rotate memory offsets so mem-reading ops never hit the cache.
+      const std::size_t mem_off =
+          static_cast<std::size_t>(it) * lines * kCacheLineBytes;
+      const sim::Time t0 = me.now();
+      switch (kind) {
+        case OpKind::kGetMpbToMpb:
+          co_await rma::get_mpb_to_mpb(me, 0, rma::MpbAddr{target, 0}, lines);
+          break;
+        case OpKind::kPutMpbToMpb:
+          co_await rma::put_mpb_to_mpb(me, rma::MpbAddr{target, 0}, 0, lines);
+          break;
+        case OpKind::kGetMpbToMem:
+          co_await rma::get_mpb_to_mem(me, mem_off, rma::MpbAddr{target, 0}, lines);
+          break;
+        case OpKind::kPutMemToMpb:
+          co_await rma::put_mem_to_mpb(me, rma::MpbAddr{target, 0}, mem_off, lines);
+          break;
+      }
+      stats.add(sim::to_us(me.now() - t0));
+    }
+  });
+  const sim::RunResult run = chip.run();
+  OCB_ENSURE(run.completed(), "op measurement stalled");
+  return stats.mean();
+}
+
+ContentionResult measure_mpb_contention(const scc::SccConfig& config, int n_cores,
+                                        std::size_t lines, bool use_get,
+                                        int iterations) {
+  OCB_REQUIRE(n_cores >= 1 && n_cores <= kNumCores, "core count out of range");
+  scc::SccChip chip(config);
+  sim::Rendezvous rendezvous(chip.engine(), static_cast<std::size_t>(n_cores));
+  std::vector<RunningStats> per_core(static_cast<std::size_t>(n_cores));
+
+  for (CoreId c = 0; c < n_cores; ++c) {
+    chip.spawn(c, [&, use_get, lines, iterations](scc::Core& me) -> sim::Task<void> {
+      for (int it = 0; it < iterations; ++it) {
+        co_await rendezvous.arrive();
+        const sim::Time t0 = me.now();
+        if (use_get) {
+          co_await rma::get_mpb_to_mpb(me, 0, rma::MpbAddr{0, 0}, lines);
+        } else {
+          // Each core owns a dedicated target line (the doneFlag pattern of
+          // §3.3: concurrent 1-line puts to distinct locations).
+          co_await rma::put_mpb_to_mpb(
+              me, rma::MpbAddr{0, static_cast<std::size_t>(me.id())}, 0, 1);
+        }
+        per_core[static_cast<std::size_t>(me.id())].add(sim::to_us(me.now() - t0));
+      }
+    });
+  }
+  const sim::RunResult run = chip.run();
+  OCB_ENSURE(run.completed(), "contention measurement stalled");
+
+  ContentionResult out;
+  RunningStats all;
+  for (const auto& s : per_core) {
+    out.per_core_us.push_back(s.mean());
+    all.add(s.mean());
+  }
+  out.avg_us = all.mean();
+  return out;
+}
+
+MeshStressResult measure_mesh_stress(const scc::SccConfig& config, std::size_t lines) {
+  // Victim: the core on tile (2,2) gets from the core on tile (3,2); the
+  // response data crosses the (3,2)->(2,2) link.
+  const CoreId victim = noc::first_core_of_tile(noc::tile_index(noc::TileCoord{2, 2}));
+  const CoreId victim_src =
+      noc::first_core_of_tile(noc::tile_index(noc::TileCoord{3, 2}));
+
+  auto run_once = [&](bool loaded) {
+    scc::SccChip chip(config);
+    RunningStats victim_stats;
+    if (loaded) {
+      for (CoreId c = 0; c < kNumCores; ++c) {
+        const noc::TileCoord t = noc::tile_of_core(c);
+        if (t.y == 2 && (t.x == 2 || t.x == 3)) continue;  // victim tiles idle
+        // Get from the row-2 core on the opposite side so the X-Y response
+        // route crosses the stressed link (paper §3.3).
+        const noc::TileCoord src_tile{t.x >= 3 ? 0 : 5, 2};
+        const CoreId src = noc::first_core_of_tile(noc::tile_index(src_tile));
+        chip.spawn(c, [&, src](scc::Core& me) -> sim::Task<void> {
+          for (int it = 0; it < 64; ++it) {
+            co_await rma::get_mpb_to_mpb(me, 0, rma::MpbAddr{src, 0}, 128);
+          }
+        });
+      }
+    }
+    chip.spawn(victim, [&](scc::Core& me) -> sim::Task<void> {
+      // Let the stress flows ramp up first.
+      co_await me.chip().engine().sleep(50 * sim::kMicrosecond);
+      for (int it = 0; it < 32; ++it) {
+        const sim::Time t0 = me.now();
+        co_await rma::get_mpb_to_mpb(me, 0, rma::MpbAddr{victim_src, 0}, lines);
+        victim_stats.add(sim::to_us(me.now() - t0));
+      }
+    });
+    const sim::RunResult run = chip.run();
+    OCB_ENSURE(run.completed(), "mesh stress measurement stalled");
+    return victim_stats.mean();
+  };
+
+  MeshStressResult out;
+  out.unloaded_us = run_once(false);
+  out.loaded_us = run_once(true);
+  return out;
+}
+
+}  // namespace ocb::harness

@@ -1,0 +1,92 @@
+// Experiment harness: runs collectives and RMA micro-experiments on the
+// simulated SCC and extracts the quantities the paper reports.
+//
+// Measurement hygiene mirrors §6.1:
+//  * iterations are separated by a zero-cost rendezvous (not a real
+//    barrier), so every iteration starts with all cores synchronized and
+//    the measured interval contains only the collective itself;
+//  * warm-up iterations are discarded;
+//  * each iteration operates on a different private-memory offset so data
+//    caches cannot serve the root's message reads ("currently uncached
+//    offset" trick of §6.1);
+//  * latency is the paper's definition: last core's return minus the
+//    common start;
+//  * every delivered message is byte-compared against the root's buffer
+//    (the simulator moves real data), so a timing result can never come
+//    from a broken protocol.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "core/bcast.h"
+#include "scc/config.h"
+
+namespace ocb::harness {
+
+struct BcastRunSpec {
+  core::BcastSpec algorithm{};
+  scc::SccConfig config{};
+  CoreId root = 0;
+  std::size_t message_bytes = kCacheLineBytes;
+  int iterations = 8;  ///< measured iterations
+  int warmup = 1;      ///< discarded leading iterations
+  bool verify = true;  ///< byte-compare every measured delivery
+};
+
+struct BcastRunResult {
+  SampleStats latency_us;   ///< per measured iteration
+  double throughput_mbps = 0.0;  ///< message_bytes / mean latency
+  bool content_ok = true;
+  std::uint64_t events = 0;
+  double simulated_ms = 0.0;
+};
+
+/// Runs `warmup + iterations` broadcasts on a fresh chip.
+BcastRunResult run_broadcast(const BcastRunSpec& spec);
+
+/// Point-to-point RMA operation kinds, matching Figure 3's four panels.
+enum class OpKind {
+  kGetMpbToMpb,
+  kPutMpbToMpb,
+  kGetMpbToMem,
+  kPutMemToMpb,
+};
+
+/// Average completion time (us) of `lines`-line operations issued by
+/// `actor` against `target`'s MPB on an otherwise idle chip.
+double measure_op_completion_us(const scc::SccConfig& config, OpKind kind,
+                                CoreId actor, CoreId target, std::size_t lines,
+                                int iterations = 16);
+
+/// Finds a (actor, target) core pair whose MPB distance is exactly `d`
+/// routers; throws if none exists (valid d: 1..9 on the 6x4 mesh).
+std::pair<CoreId, CoreId> core_pair_at_mpb_distance(int d);
+
+/// Finds a core whose memory-controller distance is exactly `d` (1..4).
+CoreId core_at_mem_distance(int d);
+
+/// Figure 4: n cores concurrently accessing core 0's MPB.
+struct ContentionResult {
+  double avg_us = 0.0;
+  std::vector<double> per_core_us;  ///< one entry per participating core
+};
+
+/// `use_get`: each core repeatedly gets `lines` lines from core 0's MPB
+/// (Fig. 4a). Otherwise each core repeatedly puts one line to its own
+/// dedicated line of core 0's MPB (Fig. 4b; `lines` ignored).
+ContentionResult measure_mpb_contention(const scc::SccConfig& config, int n_cores,
+                                        std::size_t lines, bool use_get,
+                                        int iterations = 16);
+
+/// §3.3 mesh stress: victim get latency across the (2,2)-(3,2) link while
+/// every remote core hammers flows through that link, vs. unloaded.
+struct MeshStressResult {
+  double loaded_us = 0.0;
+  double unloaded_us = 0.0;
+};
+
+MeshStressResult measure_mesh_stress(const scc::SccConfig& config,
+                                     std::size_t lines = 128);
+
+}  // namespace ocb::harness

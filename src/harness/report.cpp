@@ -1,0 +1,88 @@
+#include "harness/report.h"
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "common/format.h"
+#include "common/require.h"
+
+namespace ocb::harness {
+
+namespace {
+
+std::string render_metric_table(const std::vector<Series>& series, bool throughput) {
+  OCB_REQUIRE(!series.empty(), "no series to render");
+  std::set<std::size_t> sizes;
+  for (const Series& s : series) {
+    for (const SeriesPoint& p : s.points) sizes.insert(p.lines);
+  }
+  std::vector<std::string> header{"lines"};
+  for (const Series& s : series) header.push_back(s.label);
+  TextTable table(header);
+  for (std::size_t lines : sizes) {
+    std::vector<std::string> row{std::to_string(lines)};
+    for (const Series& s : series) {
+      std::string cell;
+      for (const SeriesPoint& p : s.points) {
+        if (p.lines == lines) {
+          cell = fmt_fixed(throughput ? p.throughput_mbps : p.latency_us, 2);
+          if (!p.content_ok) cell += " [CORRUPT]";
+          break;
+        }
+      }
+      row.push_back(cell);
+    }
+    table.add_row(std::move(row));
+  }
+  return table.str();
+}
+
+}  // namespace
+
+std::string render_latency_table(const std::vector<Series>& series) {
+  return "Broadcast latency (us) by message size (cache lines)\n" +
+         render_metric_table(series, /*throughput=*/false);
+}
+
+std::string render_throughput_table(const std::vector<Series>& series) {
+  return "Broadcast throughput (MB/s) by message size (cache lines)\n" +
+         render_metric_table(series, /*throughput=*/true);
+}
+
+void write_series_csv(const std::string& path, const std::vector<Series>& series) {
+  std::vector<std::vector<std::string>> rows;
+  for (const Series& s : series) {
+    for (const SeriesPoint& p : s.points) {
+      rows.push_back({s.label, std::to_string(p.lines),
+                      std::to_string(p.lines * kCacheLineBytes),
+                      fmt_fixed(p.latency_us, 4), fmt_fixed(p.throughput_mbps, 4),
+                      p.content_ok ? "ok" : "corrupt"});
+    }
+  }
+  write_csv(path, {"series", "lines", "bytes", "latency_us", "throughput_mbps", "content"},
+            rows);
+}
+
+std::string render_comparison(const std::vector<ComparisonRow>& rows) {
+  TextTable table({"quantity", "paper", "measured", "unit", "deviation"});
+  for (const ComparisonRow& r : rows) {
+    std::string deviation = "n/a";
+    if (r.paper_value != 0.0) {
+      deviation =
+          fmt_fixed((r.measured_value - r.paper_value) / r.paper_value * 100.0, 1) +
+          "%";
+    }
+    table.add_row({r.quantity, fmt_fixed(r.paper_value, 2),
+                   fmt_fixed(r.measured_value, 2), r.unit, deviation});
+  }
+  return table.str();
+}
+
+std::string results_dir() {
+  const std::string dir = "results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace ocb::harness

@@ -1,0 +1,38 @@
+// Rendering of experiment results: paper-style ASCII tables plus CSV files
+// for external plotting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.h"
+
+namespace ocb::harness {
+
+/// Multi-series latency table: one row per message size, one column per
+/// series (the shape of Figures 6a/8a).
+std::string render_latency_table(const std::vector<Series>& series);
+
+/// Multi-series throughput table (the shape of Figure 8b).
+std::string render_throughput_table(const std::vector<Series>& series);
+
+/// Writes all series as long-form CSV (label,lines,bytes,latency_us,
+/// throughput_mbps) for plotting; `path` is created/truncated.
+void write_series_csv(const std::string& path, const std::vector<Series>& series);
+
+/// One row of a "paper vs. measured" summary.
+struct ComparisonRow {
+  std::string quantity;
+  double paper_value = 0.0;
+  double measured_value = 0.0;
+  std::string unit;
+};
+
+/// Renders a comparison summary with a deviation column.
+std::string render_comparison(const std::vector<ComparisonRow>& rows);
+
+/// Directory benches write CSVs into (created on demand): "results".
+std::string results_dir();
+
+}  // namespace ocb::harness

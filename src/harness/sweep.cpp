@@ -1,0 +1,66 @@
+#include "harness/sweep.h"
+
+namespace ocb::harness {
+
+Series sweep_message_sizes(const BcastRunSpec& base, const std::string& label,
+                           const std::vector<std::size_t>& sizes_lines) {
+  Series series;
+  series.label = label;
+  for (std::size_t lines : sizes_lines) {
+    BcastRunSpec spec = base;
+    spec.message_bytes = lines * kCacheLineBytes;
+    spec.iterations = default_iterations(lines);
+    const BcastRunResult r = run_broadcast(spec);
+    series.points.push_back(SeriesPoint{lines, r.latency_us.mean(),
+                                        r.throughput_mbps, r.content_ok});
+  }
+  return series;
+}
+
+std::vector<std::size_t> small_message_sizes() {
+  std::vector<std::size_t> sizes{1, 4, 8, 16};
+  for (std::size_t s = 12; s <= 192; s += 12) sizes.push_back(s);
+  sizes.push_back(96);
+  sizes.push_back(97);
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return sizes;
+}
+
+std::vector<std::size_t> large_message_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 1; s <= 32768; s *= 2) sizes.push_back(s);
+  sizes.push_back(96);
+  sizes.push_back(97);
+  sizes.push_back(192);
+  sizes.push_back(3072);  // ~P * M_oc, Table 2's modeled message size
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return sizes;
+}
+
+int default_iterations(std::size_t lines) {
+  if (lines <= 64) return 8;
+  if (lines <= 512) return 5;
+  if (lines <= 4096) return 3;
+  return 2;
+}
+
+std::vector<core::BcastSpec> paper_algorithm_lineup() {
+  std::vector<core::BcastSpec> specs;
+  for (int k : {2, 7, 47}) {
+    core::BcastSpec s;
+    s.kind = core::BcastKind::kOcBcast;
+    s.k = k;
+    specs.push_back(s);
+  }
+  core::BcastSpec binomial;
+  binomial.kind = core::BcastKind::kBinomial;
+  specs.push_back(binomial);
+  core::BcastSpec sag;
+  sag.kind = core::BcastKind::kScatterAllgather;
+  specs.push_back(sag);
+  return specs;
+}
+
+}  // namespace ocb::harness

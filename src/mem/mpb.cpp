@@ -1,0 +1,33 @@
+#include "mem/mpb.h"
+
+#include "common/require.h"
+
+namespace ocb::mem {
+
+void MpbStorage::require_line(std::size_t line) const {
+  OCB_REQUIRE(line < kMpbCacheLines, "MPB line index out of range");
+}
+
+const CacheLine& MpbStorage::load(std::size_t line) const {
+  require_line(line);
+  return lines_[line];
+}
+
+void MpbStorage::store(std::size_t line, const CacheLine& value) {
+  require_line(line);
+  lines_[line] = value;
+  if (triggers_[line]) triggers_[line]->fire();
+}
+
+sim::Trigger& MpbStorage::line_trigger(std::size_t line) {
+  require_line(line);
+  if (!triggers_[line]) triggers_[line] = std::make_unique<sim::Trigger>(*engine_);
+  return *triggers_[line];
+}
+
+CacheLine& MpbStorage::host_line(std::size_t line) {
+  require_line(line);
+  return lines_[line];
+}
+
+}  // namespace ocb::mem

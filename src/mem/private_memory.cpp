@@ -1,0 +1,41 @@
+#include "mem/private_memory.h"
+
+#include <cstring>
+
+#include "common/require.h"
+
+namespace ocb::mem {
+
+PrivateMemory::PrivateMemory(std::size_t limit_bytes) : limit_(limit_bytes) {}
+
+void PrivateMemory::ensure(std::size_t end) const {
+  OCB_REQUIRE(end <= limit_, "private memory access beyond configured limit");
+  if (end > bytes_.size()) bytes_.resize(end);
+}
+
+CacheLine PrivateMemory::load(std::size_t offset) const {
+  OCB_REQUIRE(offset % kCacheLineBytes == 0, "unaligned private-memory load");
+  ensure(offset + kCacheLineBytes);
+  CacheLine cl;
+  std::memcpy(cl.bytes.data(), bytes_.data() + offset, kCacheLineBytes);
+  return cl;
+}
+
+void PrivateMemory::store(std::size_t offset, const CacheLine& value) {
+  OCB_REQUIRE(offset % kCacheLineBytes == 0, "unaligned private-memory store");
+  ensure(offset + kCacheLineBytes);
+  std::memcpy(bytes_.data() + offset, value.bytes.data(), kCacheLineBytes);
+}
+
+std::span<std::byte> PrivateMemory::host_bytes(std::size_t offset, std::size_t size) {
+  ensure(offset + size);
+  return {bytes_.data() + offset, size};
+}
+
+std::span<const std::byte> PrivateMemory::host_bytes(std::size_t offset,
+                                                     std::size_t size) const {
+  ensure(offset + size);
+  return {bytes_.data() + offset, size};
+}
+
+}  // namespace ocb::mem

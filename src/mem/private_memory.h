@@ -1,0 +1,56 @@
+// Per-core private off-chip memory.
+//
+// Each core owns a private DRAM region behind its quadrant's memory
+// controller (default SCC configuration, no shared memory — paper §3.3).
+// Only the owning core's simulated transactions may touch it; the harness
+// additionally gets zero-cost host access to seed payloads and verify
+// delivered bytes.
+//
+// Storage grows on demand in cache-line units so a 1 MiB broadcast message
+// plus the rotating-offset anti-caching scheme of §6.1 costs only what it
+// touches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ocb::mem {
+
+class PrivateMemory {
+ public:
+  /// `limit_bytes` caps growth to catch runaway offsets early.
+  explicit PrivateMemory(std::size_t limit_bytes = kDefaultLimitBytes);
+
+  PrivateMemory(const PrivateMemory&) = delete;
+  PrivateMemory& operator=(const PrivateMemory&) = delete;
+
+  /// Reads the cache line at `offset` (must be line-aligned). Reading never-
+  /// written memory returns zeros, like freshly mapped pages.
+  CacheLine load(std::size_t offset) const;
+
+  /// Writes the cache line at `offset` (must be line-aligned).
+  void store(std::size_t offset, const CacheLine& value);
+
+  /// Zero-cost host window of [offset, offset+size); grows storage.
+  /// CAUTION: later growth (a store or host_bytes beyond the current size)
+  /// may reallocate and invalidate previously returned spans — re-fetch
+  /// after any operation that could extend the memory.
+  std::span<std::byte> host_bytes(std::size_t offset, std::size_t size);
+  std::span<const std::byte> host_bytes(std::size_t offset, std::size_t size) const;
+
+  std::size_t size() const { return bytes_.size(); }
+  std::size_t limit() const { return limit_; }
+
+  static constexpr std::size_t kDefaultLimitBytes = 64u << 20;  // 64 MiB
+
+ private:
+  void ensure(std::size_t end) const;
+
+  mutable std::vector<std::byte> bytes_;
+  std::size_t limit_;
+};
+
+}  // namespace ocb::mem

@@ -1,0 +1,279 @@
+#include "model/broadcast_model.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+#include "common/types.h"
+#include "core/tree.h"
+
+namespace ocb::model {
+
+namespace {
+
+/// Parent/children schedule of the MPICH-style binomial tree over
+/// root-relative ranks 0..P-1; children ordered as sent (farthest first).
+struct BinomialNode {
+  int parent = -1;
+  std::vector<int> children;  // in send order
+};
+
+std::vector<BinomialNode> binomial_schedule(int parties) {
+  std::vector<BinomialNode> nodes(static_cast<std::size_t>(parties));
+  for (int r = 0; r < parties; ++r) {
+    int mask = 1;
+    while (mask < parties && (r & mask) == 0) mask <<= 1;
+    if (r != 0) nodes[static_cast<std::size_t>(r)].parent = r - mask;
+    for (int m = mask >> 1; m > 0; m >>= 1) {
+      if (r + m < parties) nodes[static_cast<std::size_t>(r)].children.push_back(r + m);
+    }
+  }
+  return nodes;
+}
+
+std::size_t chunk_count(std::size_t m_lines, std::size_t chunk_lines) {
+  return (m_lines + chunk_lines - 1) / chunk_lines;
+}
+
+std::size_t chunk_size(std::size_t m_lines, std::size_t chunk_lines, std::size_t c,
+                       std::size_t n_chunks) {
+  return c + 1 < n_chunks ? chunk_lines : m_lines - (n_chunks - 1) * chunk_lines;
+}
+
+}  // namespace
+
+int kary_depth(int parties, int k) {
+  return core::KaryTree(parties, k, 0).max_depth();
+}
+
+int binomial_rounds(int parties) {
+  int rounds = 0;
+  int covered = 1;
+  while (covered < parties) {
+    covered *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+BroadcastModel::BroadcastModel(ModelParams params, BroadcastModelOptions options)
+    : params_(params), options_(options) {
+  OCB_REQUIRE(options_.parties >= 2, "broadcast needs at least two cores");
+  OCB_REQUIRE(options_.chunk_lines >= 1, "chunk size must be positive");
+  OCB_REQUIRE(options_.rcce_chunk_lines >= 1, "RCCE chunk size must be positive");
+}
+
+sim::Duration BroadcastModel::flag_set_cost() const {
+  return params_.o_put_mpb + mpb_write_completion(params_, options_.d_mpb);
+}
+
+sim::Duration BroadcastModel::flag_poll_cost() const {
+  return mpb_read_completion(params_, 1);
+}
+
+sim::Duration BroadcastModel::cached_put_cost(std::size_t lines) const {
+  return params_.o_put_mem +
+         lines * (options_.o_cache_hit + mpb_write_completion(params_, options_.d_mpb));
+}
+
+ModeledBroadcast BroadcastModel::ocbcast(std::size_t m_lines, int k) const {
+  OCB_REQUIRE(m_lines >= 1, "empty broadcast");
+  const int P = options_.parties;
+  const core::KaryTree tree(P, k, /*root=*/0);  // relative ids == indices
+  const std::size_t chunk = options_.chunk_lines;
+  const std::size_t n_chunks = chunk_count(m_lines, chunk);
+  const std::size_t buffers = options_.double_buffering ? 2 : 1;
+
+  const sim::Duration poll = flag_poll_cost();
+  const sim::Duration notify = flag_set_cost();
+
+  std::vector<sim::Duration> t(static_cast<std::size_t>(P), 0);
+  // done[idx][c % buffers]: completion time (at the parent) of idx's
+  // doneFlag for the most recent chunk of that buffer parity.
+  std::vector<std::array<sim::Duration, 2>> done(static_cast<std::size_t>(P),
+                                                 {0, 0});
+  std::vector<sim::Duration> notify_arrive(static_cast<std::size_t>(P), 0);
+
+  auto buffer_free_wait = [&](int idx, std::size_t c) {
+    // Reusing the chunk-c buffer slot requires every child to have consumed
+    // the previous chunk written there (c - buffers); poll one local
+    // doneFlag line per child.
+    for (CoreId child : tree.children_of(idx)) {
+      const sim::Duration avail =
+          c >= buffers ? done[static_cast<std::size_t>(child)][c % buffers] : 0;
+      t[static_cast<std::size_t>(idx)] =
+          std::max(t[static_cast<std::size_t>(idx)], avail) + poll;
+    }
+  };
+
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t lines = chunk_size(m_lines, chunk, c, n_chunks);
+    std::fill(notify_arrive.begin(), notify_arrive.end(), sim::Duration{0});
+    for (int idx = 0; idx < P; ++idx) {
+      const auto i = static_cast<std::size_t>(idx);
+      if (idx == 0) {
+        buffer_free_wait(idx, c);
+        // Stage the chunk in the local MPB buffer (destination d = 1).
+        t[i] += put_from_mem_completion(params_, lines, options_.d_mem, 1);
+        for (CoreId target : tree.notify_own_targets(idx)) {
+          t[i] += notify;
+          notify_arrive[static_cast<std::size_t>(target)] = t[i];
+        }
+        continue;
+      }
+      // (detect) the notifyFlag in the local MPB.
+      t[i] = std::max(t[i], notify_arrive[i]) + poll;
+      // (i) forward the notification inside the parent's group.
+      for (CoreId target : tree.notify_forward_targets(idx)) {
+        t[i] += notify;
+        notify_arrive[static_cast<std::size_t>(target)] = t[i];
+      }
+      const bool leaf = tree.child_count(idx) == 0;
+      if (!leaf) buffer_free_wait(idx, c);
+      if (leaf && options_.leaf_direct_to_memory) {
+        // §5.4 optimization: skip the own-MPB staging copy entirely.
+        t[i] += get_to_mem_completion(params_, lines, options_.d_mpb, options_.d_mem);
+        t[i] += notify;  // (iii) doneFlag to the parent
+        done[i][c % buffers] = t[i];
+        continue;
+      }
+      // (ii) copy the chunk from the parent's MPB into the own MPB.
+      t[i] += get_to_mpb_completion(params_, lines, options_.d_mpb);
+      // (iii) doneFlag to the parent.
+      t[i] += notify;
+      done[i][c % buffers] = t[i];
+      // (iv) kick off the own group's notification tree.
+      for (CoreId target : tree.notify_own_targets(idx)) {
+        t[i] += notify;
+        notify_arrive[static_cast<std::size_t>(target)] = t[i];
+      }
+      // (v) copy from the own MPB (d = 1) to private memory.
+      t[i] += get_to_mem_completion(params_, lines, 1, options_.d_mem);
+    }
+  }
+
+  // Before returning, every node with children polls their doneFlags for
+  // the final chunk so its MPB is reusable (this is the "root has 47 flags
+  // to poll" cost of §5.2.3, applied uniformly).
+  ModeledBroadcast out;
+  out.node_return.resize(static_cast<std::size_t>(P));
+  for (int idx = 0; idx < P; ++idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    for (CoreId child : tree.children_of(idx)) {
+      const sim::Duration avail =
+          done[static_cast<std::size_t>(child)][(n_chunks - 1) % buffers];
+      t[i] = std::max(t[i], avail) + poll;
+    }
+    out.node_return[i] = t[i];
+    out.latency = std::max(out.latency, t[i]);
+  }
+  return out;
+}
+
+sim::Duration BroadcastModel::ocbcast_latency(std::size_t m_lines, int k) const {
+  return ocbcast(m_lines, k).latency;
+}
+
+ModeledBroadcast BroadcastModel::binomial(std::size_t m_lines) const {
+  OCB_REQUIRE(m_lines >= 1, "empty broadcast");
+  const int P = options_.parties;
+  const std::vector<BinomialNode> schedule = binomial_schedule(P);
+  const std::size_t chunk = options_.rcce_chunk_lines;
+  const std::size_t n_chunks = chunk_count(m_lines, chunk);
+  const bool fits_cache = m_lines <= options_.cache_capacity_lines;
+
+  const sim::Duration poll_local = flag_poll_cost();
+  const sim::Duration poll_remote = mpb_read_completion(params_, options_.d_mpb);
+  const sim::Duration flag_put = flag_set_cost();
+  const sim::Duration ready_post = params_.o_put_mpb + mpb_write_completion(params_, 1);
+
+  std::vector<sim::Duration> t(static_cast<std::size_t>(P), 0);
+  // Whether the payload is resident in the sender's cache (§5.2.2: every
+  // non-root sender just received it; the root warms it on its first send).
+  std::vector<bool> warmed(static_cast<std::size_t>(P), false);
+
+  // Pairwise rendezvous per chunk, mirroring rma::TwoSided.
+  auto transfer = [&](int s, int r) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto ri = static_cast<std::size_t>(r);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const std::size_t lines = chunk_size(m_lines, chunk, c, n_chunks);
+      t[ri] += ready_post;
+      const sim::Duration ready_at = t[ri];
+      t[si] = std::max(t[si], ready_at) + poll_remote;
+      t[si] += warmed[si] && fits_cache
+                   ? cached_put_cost(lines)
+                   : put_from_mem_completion(params_, lines, options_.d_mem,
+                                             options_.d_mpb);
+      t[si] += flag_put;
+      const sim::Duration sent_at = t[si];
+      t[ri] = std::max(t[ri], sent_at) + poll_local;
+      t[ri] += get_to_mem_completion(params_, lines, 1, options_.d_mem);
+    }
+    warmed[si] = true;
+    warmed[ri] = true;
+  };
+
+  // Depth-first over the send schedule: a parent's sends are serial in its
+  // own timeline; each child's recv interleaves with exactly that send.
+  std::vector<int> stack{0};
+  std::vector<sim::Duration> ret(static_cast<std::size_t>(P), 0);
+  while (!stack.empty()) {
+    const int r = stack.back();
+    stack.pop_back();
+    for (int child : schedule[static_cast<std::size_t>(r)].children) {
+      transfer(r, child);
+      stack.push_back(child);
+    }
+    ret[static_cast<std::size_t>(r)] = t[static_cast<std::size_t>(r)];
+  }
+
+  ModeledBroadcast out;
+  out.node_return = std::move(ret);
+  for (sim::Duration d : out.node_return) out.latency = std::max(out.latency, d);
+  return out;
+}
+
+sim::Duration BroadcastModel::binomial_latency(std::size_t m_lines) const {
+  return binomial(m_lines).latency;
+}
+
+double BroadcastModel::ocbcast_throughput_mbps(int k, std::size_t m_lines) const {
+  const sim::Duration latency = ocbcast_latency(m_lines, k);
+  const double bytes = static_cast<double>(m_lines) * kCacheLineBytes;
+  return bytes / 1e6 / sim::to_seconds(latency);
+}
+
+sim::Duration BroadcastModel::ocbcast_critical_path(std::size_t m_lines, int k) const {
+  const int depth = kary_depth(options_.parties, k);
+  return put_from_mem_completion(params_, m_lines, options_.d_mem, 1) +
+         static_cast<sim::Duration>(depth) *
+             get_to_mpb_completion(params_, m_lines, options_.d_mpb) +
+         get_to_mem_completion(params_, m_lines, 1, options_.d_mem);
+}
+
+sim::Duration BroadcastModel::binomial_critical_path(std::size_t m_lines) const {
+  // Formula 14 (second form): m * (log2(P)*(C_r^mpb + C_w^mpb + C_w^mem)
+  //                                 + C_r^mem), all at d = 1.
+  const auto rounds = static_cast<sim::Duration>(binomial_rounds(options_.parties));
+  const sim::Duration per_line =
+      rounds * (mpb_read_completion(params_, 1) + mpb_write_completion(params_, 1) +
+                mem_write_completion(params_, 1)) +
+      mem_read_completion(params_, 1);
+  return m_lines * per_line;
+}
+
+double BroadcastModel::formula15_throughput_mbps() const {
+  const sim::Duration per_line = 2 * mpb_read_completion(params_, 1) +
+                                 mpb_write_completion(params_, 1) +
+                                 mem_write_completion(params_, 1);
+  return static_cast<double>(kCacheLineBytes) / 1e6 / sim::to_seconds(per_line);
+}
+
+double BroadcastModel::formula16_throughput_mbps() const {
+  const sim::Duration per_line =
+      3 * mpb_read_completion(params_, 1) + 3 * mpb_write_completion(params_, 1) +
+      mem_read_completion(params_, 1) + 3 * mem_write_completion(params_, 1);
+  return static_cast<double>(kCacheLineBytes) / 1e6 / sim::to_seconds(per_line);
+}
+
+}  // namespace ocb::model

@@ -1,0 +1,158 @@
+#include "model/fit.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "model/primitives.h"
+
+namespace ocb::model {
+
+std::vector<double> least_squares(const std::vector<std::vector<double>>& rows,
+                                  const std::vector<double>& rhs) {
+  OCB_REQUIRE(!rows.empty(), "least squares with no samples");
+  OCB_REQUIRE(rows.size() == rhs.size(), "row/rhs size mismatch");
+  const std::size_t n = rows.front().size();
+  OCB_REQUIRE(n > 0, "least squares with no unknowns");
+  for (const auto& r : rows) OCB_REQUIRE(r.size() == n, "ragged design matrix");
+
+  // Normal equations: (A^T A) x = A^T b.
+  std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0.0));
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      atb[i] += rows[s][i] * rhs[s];
+      for (std::size_t j = 0; j < n; ++j) ata[i][j] += rows[s][i] * rows[s][j];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(ata[r][col]) > std::abs(ata[pivot][col])) pivot = r;
+    }
+    OCB_REQUIRE(std::abs(ata[pivot][col]) > 1e-12,
+                "singular least-squares system (samples do not span the unknowns)");
+    std::swap(ata[col], ata[pivot]);
+    std::swap(atb[col], atb[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = ata[r][col] / ata[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) ata[r][c] -= f * ata[col][c];
+      atb[r] -= f * atb[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = atb[i] / ata[i][i];
+  return x;
+}
+
+namespace {
+
+// Unknown ordering for the fit.
+enum : std::size_t {
+  kLhop = 0,
+  kOmpb,
+  kOmemR,
+  kOmemW,
+  kOputMpb,
+  kOgetMpb,
+  kOputMem,
+  kOgetMem,
+  kNumUnknowns,
+};
+
+// Coefficient row of one sample: completion = row . params.
+std::vector<double> design_row(const OpSample& s) {
+  std::vector<double> row(kNumUnknowns, 0.0);
+  const auto m = static_cast<double>(s.m);
+  switch (s.kind) {
+    case OpSample::Kind::kPutFromMpb:
+      // o_put_mpb + m*(o_mpb + 2*1*L) + m*(o_mpb + 2*d_dst*L)
+      row[kOputMpb] = 1.0;
+      row[kOmpb] = 2.0 * m;
+      row[kLhop] = 2.0 * m * (1.0 + s.d_dst);
+      break;
+    case OpSample::Kind::kPutFromMem:
+      // o_put_mem + m*(o_mem_r + 2*d_src*L) + m*(o_mpb + 2*d_dst*L)
+      row[kOputMem] = 1.0;
+      row[kOmemR] = m;
+      row[kOmpb] = m;
+      row[kLhop] = 2.0 * m * (s.d_src + s.d_dst);
+      break;
+    case OpSample::Kind::kGetToMpb:
+      // o_get_mpb + m*(o_mpb + 2*d_src*L) + m*(o_mpb + 2*1*L)
+      row[kOgetMpb] = 1.0;
+      row[kOmpb] = 2.0 * m;
+      row[kLhop] = 2.0 * m * (s.d_src + 1.0);
+      break;
+    case OpSample::Kind::kGetToMem:
+      // o_get_mem + m*(o_mpb + 2*d_src*L) + m*(o_mem_w + 2*d_dst*L)
+      row[kOgetMem] = 1.0;
+      row[kOmpb] = m;
+      row[kOmemW] = m;
+      row[kLhop] = 2.0 * m * (s.d_src + s.d_dst);
+      break;
+  }
+  return row;
+}
+
+sim::Duration to_ps(double us) {
+  OCB_REQUIRE(us >= 0.0, "negative fitted duration");
+  return static_cast<sim::Duration>(us * 1e6 + 0.5);
+}
+
+double predict_us(const ModelParams& p, const OpSample& s) {
+  sim::Duration d = 0;
+  switch (s.kind) {
+    case OpSample::Kind::kPutFromMpb:
+      d = put_from_mpb_completion(p, s.m, s.d_dst);
+      break;
+    case OpSample::Kind::kPutFromMem:
+      d = put_from_mem_completion(p, s.m, s.d_src, s.d_dst);
+      break;
+    case OpSample::Kind::kGetToMpb:
+      d = get_to_mpb_completion(p, s.m, s.d_src);
+      break;
+    case OpSample::Kind::kGetToMem:
+      d = get_to_mem_completion(p, s.m, s.d_src, s.d_dst);
+      break;
+  }
+  return sim::to_us(d);
+}
+
+}  // namespace
+
+FitResult fit_model_params(const std::vector<OpSample>& samples) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  rows.reserve(samples.size());
+  rhs.reserve(samples.size());
+  for (const OpSample& s : samples) {
+    rows.push_back(design_row(s));
+    rhs.push_back(s.completion_us);
+  }
+  const std::vector<double> x = least_squares(rows, rhs);
+
+  FitResult out;
+  out.params.l_hop = to_ps(x[kLhop]);
+  out.params.o_mpb = to_ps(x[kOmpb]);
+  out.params.o_mem_r = to_ps(x[kOmemR]);
+  out.params.o_mem_w = to_ps(x[kOmemW]);
+  out.params.o_put_mpb = to_ps(x[kOputMpb]);
+  out.params.o_get_mpb = to_ps(x[kOgetMpb]);
+  out.params.o_put_mem = to_ps(x[kOputMem]);
+  out.params.o_get_mem = to_ps(x[kOgetMem]);
+  for (const OpSample& s : samples) {
+    const double predicted = predict_us(out.params, s);
+    if (s.completion_us > 0.0) {
+      out.max_relative_error =
+          std::max(out.max_relative_error,
+                   std::abs(predicted - s.completion_us) / s.completion_us);
+    }
+  }
+  return out;
+}
+
+}  // namespace ocb::model

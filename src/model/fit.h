@@ -1,0 +1,46 @@
+// Model-parameter fitting: recover Table 1 from measurements.
+//
+// Every put/get completion time in Figure 2 is *linear* in the eight model
+// parameters, so a set of measured (operation, m, d_src, d_dst, time)
+// samples defines an ordinary least-squares problem. bench_table1_params
+// measures the simulator and runs this fit; recovering the configured
+// values end-to-end validates both the simulator and the model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/params.h"
+
+namespace ocb::model {
+
+/// Generic dense least squares: minimizes ||A x - b||_2 via normal
+/// equations + Gaussian elimination with partial pivoting. `rows` is A
+/// row-major; all rows must have the same width. Throws PreconditionError
+/// on a singular system.
+std::vector<double> least_squares(const std::vector<std::vector<double>>& rows,
+                                  const std::vector<double>& rhs);
+
+/// One measured RMA operation.
+struct OpSample {
+  enum class Kind { kPutFromMpb, kPutFromMem, kGetToMpb, kGetToMem };
+  Kind kind;
+  std::size_t m = 1;  ///< cache lines moved
+  int d_src = 1;      ///< routers to the source (meaning depends on kind)
+  int d_dst = 1;      ///< routers to the destination
+  double completion_us = 0.0;
+};
+
+/// Result of a parameter fit.
+struct FitResult {
+  ModelParams params;
+  /// max over samples of |predicted - measured| / measured.
+  double max_relative_error = 0.0;
+};
+
+/// Fits all eight Table 1 parameters to the samples. Requires a sample set
+/// that actually spans the parameter space (different kinds, sizes and
+/// distances); throws if the system is singular.
+FitResult fit_model_params(const std::vector<OpSample>& samples);
+
+}  // namespace ocb::model

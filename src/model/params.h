@@ -1,0 +1,27 @@
+// Model parameters (paper Table 1).
+//
+// All parameters are durations in integer picoseconds (sim::Duration). The
+// defaults are exactly the paper's measured values for the SCC at its
+// default frequencies (533 MHz tiles / 800 MHz mesh+DRAM).
+#pragma once
+
+#include "sim/time.h"
+
+namespace ocb::model {
+
+struct ModelParams {
+  sim::Duration l_hop = 5 * sim::kNanosecond;        ///< L_hop
+  sim::Duration o_mpb = 126 * sim::kNanosecond;      ///< o^mpb
+  sim::Duration o_mem_w = 461 * sim::kNanosecond;    ///< o^mem_w
+  sim::Duration o_mem_r = 208 * sim::kNanosecond;    ///< o^mem_r
+  sim::Duration o_put_mpb = 69 * sim::kNanosecond;   ///< o^mpb_put
+  sim::Duration o_get_mpb = 330 * sim::kNanosecond;  ///< o^mpb_get
+  sim::Duration o_put_mem = 190 * sim::kNanosecond;  ///< o^mem_put
+  sim::Duration o_get_mem = 95 * sim::kNanosecond;   ///< o^mem_get
+
+  /// The paper's Table 1 values (same as the defaults; spelled out for
+  /// intent at call sites).
+  static ModelParams paper() { return ModelParams{}; }
+};
+
+}  // namespace ocb::model

@@ -1,0 +1,72 @@
+#include "model/primitives.h"
+
+#include "common/require.h"
+
+namespace ocb::model {
+
+namespace {
+sim::Duration hops(const ModelParams& p, int d) {
+  OCB_REQUIRE(d >= 1, "router distance is at least 1 (local access)");
+  return static_cast<sim::Duration>(d) * p.l_hop;
+}
+}  // namespace
+
+sim::Duration mpb_write_latency(const ModelParams& p, int d) {
+  return p.o_mpb + hops(p, d);
+}
+
+sim::Duration mpb_write_completion(const ModelParams& p, int d) {
+  return p.o_mpb + 2 * hops(p, d);
+}
+
+sim::Duration mpb_read_completion(const ModelParams& p, int d) {
+  return p.o_mpb + 2 * hops(p, d);
+}
+
+sim::Duration mem_write_latency(const ModelParams& p, int d) {
+  return p.o_mem_w + hops(p, d);
+}
+
+sim::Duration mem_write_completion(const ModelParams& p, int d) {
+  return p.o_mem_w + 2 * hops(p, d);
+}
+
+sim::Duration mem_read_completion(const ModelParams& p, int d) {
+  return p.o_mem_r + 2 * hops(p, d);
+}
+
+sim::Duration put_from_mpb_completion(const ModelParams& p, std::size_t m, int d_dst) {
+  return p.o_put_mpb + m * mpb_read_completion(p, 1) + m * mpb_write_completion(p, d_dst);
+}
+
+sim::Duration put_from_mem_completion(const ModelParams& p, std::size_t m, int d_src,
+                                      int d_dst) {
+  return p.o_put_mem + m * mem_read_completion(p, d_src) +
+         m * mpb_write_completion(p, d_dst);
+}
+
+sim::Duration put_from_mpb_latency(const ModelParams& p, std::size_t m, int d_dst) {
+  OCB_REQUIRE(m >= 1, "empty put");
+  return p.o_put_mpb + m * mpb_read_completion(p, 1) +
+         (m - 1) * mpb_write_completion(p, d_dst) + mpb_write_latency(p, d_dst);
+}
+
+sim::Duration put_from_mem_latency(const ModelParams& p, std::size_t m, int d_src,
+                                   int d_dst) {
+  OCB_REQUIRE(m >= 1, "empty put");
+  return p.o_put_mem + m * mem_read_completion(p, d_src) +
+         (m - 1) * mpb_write_completion(p, d_dst) + mpb_write_latency(p, d_dst);
+}
+
+sim::Duration get_to_mpb_completion(const ModelParams& p, std::size_t m, int d_src) {
+  return p.o_get_mpb + m * mpb_read_completion(p, d_src) +
+         m * mpb_write_completion(p, 1);
+}
+
+sim::Duration get_to_mem_completion(const ModelParams& p, std::size_t m, int d_src,
+                                    int d_dst) {
+  return p.o_get_mem + m * mpb_read_completion(p, d_src) +
+         m * mem_write_completion(p, d_dst);
+}
+
+}  // namespace ocb::model

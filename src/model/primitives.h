@@ -1,0 +1,57 @@
+// The communication model of Figure 2: latency (L) and completion time (C)
+// of read/write/put/get as functions of message size m (cache lines) and
+// router distance d.
+//
+// Conventions follow the paper exactly:
+//  * d counts routers traversed (local access: d = 1),
+//  * m is in cache lines,
+//  * read latency == read completion (request/response),
+//  * write completion adds the returning acknowledgment (+d*L_hop over its
+//    latency).
+#pragma once
+
+#include <cstddef>
+
+#include "model/params.h"
+
+namespace ocb::model {
+
+// --- single-line primitives (Formulas 1-6) -------------------------------
+
+/// (1) L_w^mpb(d) = o_mpb + d*L_hop
+sim::Duration mpb_write_latency(const ModelParams& p, int d);
+/// (2) C_w^mpb(d) = o_mpb + 2d*L_hop
+sim::Duration mpb_write_completion(const ModelParams& p, int d);
+/// (3) L_r^mpb(d) = C_r^mpb(d) = o_mpb + 2d*L_hop
+sim::Duration mpb_read_completion(const ModelParams& p, int d);
+/// (4) L_w^mem(d) = o_mem_w + d*L_hop
+sim::Duration mem_write_latency(const ModelParams& p, int d);
+/// (5) C_w^mem(d) = o_mem_w + 2d*L_hop
+sim::Duration mem_write_completion(const ModelParams& p, int d);
+/// (6) L_r^mem(d) = C_r^mem(d) = o_mem_r + 2d*L_hop
+sim::Duration mem_read_completion(const ModelParams& p, int d);
+
+// --- put (Formulas 7-10) ---------------------------------------------------
+
+/// (7) C_put^mpb(m, d_dst): source is the caller's local MPB (d_src = 1).
+sim::Duration put_from_mpb_completion(const ModelParams& p, std::size_t m, int d_dst);
+/// (8) C_put^mem(m, d_src, d_dst): source is private off-chip memory.
+sim::Duration put_from_mem_completion(const ModelParams& p, std::size_t m, int d_src,
+                                      int d_dst);
+/// (9) L_put^mpb(m, d_dst): completion minus the last write's ack.
+sim::Duration put_from_mpb_latency(const ModelParams& p, std::size_t m, int d_dst);
+/// (10) L_put^mem(m, d_src, d_dst)
+sim::Duration put_from_mem_latency(const ModelParams& p, std::size_t m, int d_src,
+                                   int d_dst);
+
+// --- get (Formulas 11-12) ---------------------------------------------------
+
+/// (11) L = C = o_get^mpb + m*C_r^mpb(d_src) + m*C_w^mpb(1): destination is
+/// the caller's local MPB.
+sim::Duration get_to_mpb_completion(const ModelParams& p, std::size_t m, int d_src);
+/// (12) L = C = o_get^mem + m*C_r^mpb(d_src) + m*C_w^mem(d_dst): destination
+/// is private off-chip memory.
+sim::Duration get_to_mem_completion(const ModelParams& p, std::size_t m, int d_src,
+                                    int d_dst);
+
+}  // namespace ocb::model

@@ -1,0 +1,114 @@
+#include "model/reduce_model.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+#include "common/types.h"
+#include "core/tree.h"
+
+namespace ocb::model {
+
+ReduceModel::ReduceModel(ModelParams params, ReduceModelOptions options)
+    : params_(params), options_(options) {
+  OCB_REQUIRE(options_.parties >= 2, "reduction needs at least two cores");
+  OCB_REQUIRE(options_.chunk_lines >= 1, "chunk size must be positive");
+}
+
+ModeledReduce ReduceModel::evaluate(std::size_t count, int k) const {
+  OCB_REQUIRE(count >= 1, "empty reduction");
+  OCB_REQUIRE(k >= 1 && k < options_.parties, "fan-out out of range");
+  const int p = options_.parties;
+  const core::KaryTree tree(p, k, /*root=*/0);
+  const std::size_t chunk_elems =
+      options_.chunk_lines * ReduceModelOptions::kDoublesPerLine;
+  const std::size_t n_chunks = (count + chunk_elems - 1) / chunk_elems;
+
+  const sim::Duration poll = mpb_read_completion(params_, 1);  // local flag read
+  const sim::Duration flag_put =
+      params_.o_put_mpb + mpb_write_completion(params_, options_.d_mpb);
+
+  // Deepest-first order so a child's announcement exists before its parent
+  // reads it within the same chunk.
+  std::vector<int> order(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return tree.depth_of(a) > tree.depth_of(b);
+  });
+
+  std::vector<sim::Duration> t(static_cast<std::size_t>(p), 0);
+  std::vector<std::array<sim::Duration, 2>> ready(static_cast<std::size_t>(p),
+                                                  {0, 0});
+  std::vector<std::array<sim::Duration, 2>> consumed(static_cast<std::size_t>(p),
+                                                     {0, 0});
+
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t elems = std::min(chunk_elems, count - c * chunk_elems);
+    const std::size_t lines =
+        (elems + ReduceModelOptions::kDoublesPerLine - 1) /
+        ReduceModelOptions::kDoublesPerLine;
+    for (int idx : order) {
+      const auto i = static_cast<std::size_t>(idx);
+      // 1. Own input chunk (cold reads: the harness rotates buffers).
+      t[i] += lines * mem_read_completion(params_, options_.d_mem);
+      // 2. Ingest every child's staged chunk.
+      const auto children = tree.children_of(idx);
+      for (CoreId child : children) {
+        t[i] = std::max(t[i], ready[static_cast<std::size_t>(child)][c % 2]) + poll;
+        t[i] += lines * mpb_read_completion(params_, options_.d_mpb);
+        // Release the child's buffer.
+        t[i] += flag_put;
+        consumed[static_cast<std::size_t>(child)][c % 2] = t[i];
+      }
+      if (!children.empty()) {
+        t[i] += static_cast<sim::Duration>(children.size()) *
+                static_cast<sim::Duration>(elems) * options_.op_cost;
+      }
+      // 3. Deliver.
+      if (idx == 0) {
+        t[i] += lines * mem_write_completion(params_, options_.d_mem);
+        continue;
+      }
+      if (c >= 2) {
+        t[i] = std::max(t[i], consumed[i][c % 2]) + poll;
+      }
+      t[i] += lines * mpb_write_completion(params_, 1);  // local staging writes
+      t[i] += flag_put;                                  // readyFlag to the parent
+      ready[i][c % 2] = t[i];
+    }
+  }
+
+  ModeledReduce out;
+  out.node_return.resize(static_cast<std::size_t>(p));
+  for (int idx = 0; idx < p; ++idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    // Non-roots end-wait for the parent's final consumption.
+    if (idx != 0) t[i] = std::max(t[i], consumed[i][(n_chunks - 1) % 2]) + poll;
+    out.node_return[i] = t[i];
+    out.latency = std::max(out.latency, t[i]);
+  }
+  return out;
+}
+
+sim::Duration ReduceModel::latency(std::size_t count, int k) const {
+  return evaluate(count, k).latency;
+}
+
+double ReduceModel::throughput_mbps(int k, std::size_t count) const {
+  const sim::Duration lat = latency(count, k);
+  return static_cast<double>(count) * sizeof(double) / 1e6 / sim::to_seconds(lat);
+}
+
+int ReduceModel::best_throughput_fanout(int max_k) const {
+  int best = 1;
+  double best_tput = 0.0;
+  for (int k = 1; k <= std::min(max_k, options_.parties - 1); ++k) {
+    const double tput = throughput_mbps(k);
+    if (tput > best_tput) {
+      best_tput = tput;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace ocb::model

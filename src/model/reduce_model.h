@@ -1,0 +1,57 @@
+// Analytical model of the OC-Reduce extension — the same contention-free
+// timeline-recurrence approach as model::BroadcastModel, mirrored for data
+// flowing leaves -> root (see core/ocreduce.h for the protocol and
+// docs/MODEL.md §5 for the informal cost argument).
+//
+// Its headline prediction: a parent ingests k staged chunks per chunk it
+// emits, so — opposite to broadcast — reduction THROUGHPUT is maximized at
+// small fan-outs (k = 2 on SCC parameters), while k = 1 (a chain) trades
+// a small further throughput gain for O(P) small-message latency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/params.h"
+#include "model/primitives.h"
+
+namespace ocb::model {
+
+struct ReduceModelOptions {
+  int parties = 48;
+  std::size_t chunk_lines = 96;
+  int d_mpb = 1;
+  int d_mem = 1;
+  /// Per-element merge cost on the combining core (matches
+  /// core::OcReduceOptions::op_cost).
+  sim::Duration op_cost = 15 * sim::kNanosecond;
+  /// Doubles per cache line (fixed by the 32-byte line).
+  static constexpr std::size_t kDoublesPerLine = 4;
+};
+
+struct ModeledReduce {
+  std::vector<sim::Duration> node_return;  // root-relative indices
+  sim::Duration latency = 0;
+};
+
+class ReduceModel {
+ public:
+  ReduceModel(ModelParams params, ReduceModelOptions options);
+
+  /// Full timeline recurrence for reducing `count` doubles with fan-out k.
+  ModeledReduce evaluate(std::size_t count, int k) const;
+  sim::Duration latency(std::size_t count, int k) const;
+
+  /// Modeled steady-state throughput in MB/s (payload bytes / latency) at
+  /// a pipeline-filling element count.
+  double throughput_mbps(int k, std::size_t count = 1 << 14) const;
+
+  /// The fan-out with the highest modeled throughput (argmax over 1..max_k).
+  int best_throughput_fanout(int max_k = 47) const;
+
+ private:
+  ModelParams params_;
+  ReduceModelOptions options_;
+};
+
+}  // namespace ocb::model

@@ -1,0 +1,56 @@
+// SCC floorplan geometry: tiles, cores, router coordinates.
+//
+// The chip is a 6x4 mesh of tiles; tile (x, y) sits at column x (0..5) and
+// row y (0..3) and hosts cores 2*(y*6+x) and 2*(y*6+x)+1, each with half of
+// the tile's 16 KB Message Passing Buffer. Every tile has one router.
+//
+// Distance convention (paper §3.1): the model parameter d counts the number
+// of ROUTERS a packet traverses, so d = Manhattan distance + 1; accessing
+// the local MPB still goes through the local router (d = 1), matching the
+// paper's 1..9-hop range on this mesh.
+#pragma once
+
+#include <cstdint>
+
+#include "common/require.h"
+#include "common/types.h"
+
+namespace ocb::noc {
+
+/// Coordinates of a tile (= its router) on the mesh.
+struct TileCoord {
+  int x = 0;  ///< column, 0..kMeshCols-1
+  int y = 0;  ///< row, 0..kMeshRows-1
+
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+/// Linear tile index in row-major order, 0..23.
+int tile_index(TileCoord t);
+
+/// Inverse of tile_index.
+TileCoord tile_coord(int index);
+
+/// Tile hosting a core.
+TileCoord tile_of_core(CoreId core);
+
+/// Linear tile index hosting a core.
+int tile_index_of_core(CoreId core);
+
+/// The two cores of a tile: {2*index, 2*index + 1}.
+CoreId first_core_of_tile(int tile_index);
+
+/// Manhattan distance between two tiles.
+int manhattan(TileCoord a, TileCoord b);
+
+/// Routers traversed by a packet from `a` to `b` (the model's d): one router
+/// per tile on the X-Y path, including source and destination routers; equals
+/// manhattan(a, b) + 1 (so 1 for a == b).
+int routers_traversed(TileCoord a, TileCoord b);
+
+/// Validates a core id.
+inline void require_core(CoreId c) {
+  OCB_REQUIRE(c >= 0 && c < kNumCores, "core id out of range");
+}
+
+}  // namespace ocb::noc

@@ -1,0 +1,32 @@
+// Memory controller placement and core->controller assignment.
+//
+// The SCC has four DDR3 memory controllers attached at the mesh periphery;
+// we place them at routers (0,0), (5,0), (0,2), (5,2) and assign each core
+// the controller of its quadrant — the standard SCC arrangement. The paper
+// does not restate the layout but its Figure 3 memory panels span exactly
+// the 1..4-router distance range this yields.
+#pragma once
+
+#include <array>
+
+#include "noc/geometry.h"
+
+namespace ocb::noc {
+
+inline constexpr int kNumMemoryControllers = 4;
+
+/// Router locations of the four memory controllers.
+inline constexpr std::array<TileCoord, kNumMemoryControllers> kMcTiles = {
+    TileCoord{0, 0}, TileCoord{5, 0}, TileCoord{0, 2}, TileCoord{5, 2}};
+
+/// Index (0..3) of the controller serving a core's private memory.
+int mc_index_for_core(CoreId core);
+
+/// Router where that controller is attached.
+TileCoord mc_tile_for_core(CoreId core);
+
+/// Routers traversed between a core's tile and its memory controller
+/// (the model's d for off-chip accesses; 1..4 on this floorplan).
+int mem_distance(CoreId core);
+
+}  // namespace ocb::noc

@@ -1,0 +1,49 @@
+#include "noc/mesh.h"
+
+namespace ocb::noc {
+
+Mesh::Mesh(sim::Engine& engine, sim::Duration l_hop, sim::Duration link_occupancy)
+    : engine_(&engine), l_hop_(l_hop), link_occupancy_(link_occupancy) {
+  OCB_REQUIRE(l_hop > 0, "L_hop must be positive");
+  OCB_REQUIRE(link_occupancy <= l_hop,
+              "link occupancy above L_hop breaks the cut-through pipeline model");
+  for (int s = 0; s < kNumTiles; ++s) {
+    for (int d = 0; d < kNumTiles; ++d) {
+      const auto links = xy_route_links(tile_coord(s), tile_coord(d));
+      routes_[s][d] = RouteRef{static_cast<std::uint32_t>(route_storage_.size()),
+                               static_cast<std::uint32_t>(links.size())};
+      route_storage_.insert(route_storage_.end(), links.begin(), links.end());
+    }
+  }
+}
+
+sim::Time Mesh::reserve_path(sim::Time departure, TileCoord src, TileCoord dst) {
+  const RouteRef ref = routes_[tile_index(src)][tile_index(dst)];
+  // The packet spends L_hop in the source router, then one L_hop per link
+  // crossed (each subsequent router), holding every link for its
+  // serialization time starting when the head flit enters it.
+  sim::Time cursor = departure;
+  for (std::uint32_t i = 0; i < ref.length; ++i) {
+    const LinkId link = route_storage_[ref.begin + i];
+    const sim::Time done = links_[link].reserve(cursor, link_occupancy_);
+    const sim::Time start = done - link_occupancy_;
+    link_busy_[link] += link_occupancy_;
+    ++link_packets_[link];
+    cursor = start + l_hop_;
+  }
+  // Final (destination) router traversal; for src == dst this is the single
+  // local-router hop (d = 1).
+  return cursor + l_hop_;
+}
+
+sim::Duration Mesh::link_total_occupancy(LinkId link) const {
+  OCB_REQUIRE(link >= 0 && link < kNumLinkSlots, "link id out of range");
+  return link_busy_[static_cast<std::size_t>(link)];
+}
+
+std::uint64_t Mesh::link_packets(LinkId link) const {
+  OCB_REQUIRE(link >= 0 && link < kNumLinkSlots, "link id out of range");
+  return link_packets_[static_cast<std::size_t>(link)];
+}
+
+}  // namespace ocb::noc

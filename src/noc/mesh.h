@@ -1,0 +1,81 @@
+// The 2D-mesh NoC timing model.
+//
+// Virtual cut-through at cache-line (= packet) granularity: a packet from
+// tile S to tile D advances one router per L_hop, and holds each directed
+// link it crosses for `link_occupancy` (its serialization time). Link holds
+// are reserved in departure order on a per-link Timeline, which adds
+// queueing delay if a link is oversubscribed — at SCC scale it never is
+// (paper §3.3), and tests assert both that property and that a
+// deliberately oversubscribed link does queue.
+//
+// Routes for all tile pairs are precomputed; traversals cost one event.
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "noc/routing.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+
+namespace ocb::noc {
+
+class Mesh {
+ public:
+  Mesh(sim::Engine& engine, sim::Duration l_hop, sim::Duration link_occupancy);
+
+  Mesh(const Mesh&) = delete;
+  Mesh& operator=(const Mesh&) = delete;
+
+  /// Books one packet departing at `departure` from `src` to `dst`;
+  /// returns its arrival time (>= departure + routers * L_hop).
+  sim::Time reserve_path(sim::Time departure, TileCoord src, TileCoord dst);
+
+  /// Latency of an uncontended traversal crossing `routers` routers.
+  sim::Duration uncontended_latency(int routers) const {
+    return static_cast<sim::Duration>(routers) * l_hop_;
+  }
+
+  /// Awaitable: the calling coroutine "is" the packet; it resumes at the
+  /// destination's arrival time.
+  auto traverse(TileCoord src, TileCoord dst) {
+    struct Awaiter {
+      Mesh* mesh;
+      TileCoord src, dst;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        sim::Engine& e = *mesh->engine_;
+        e.schedule(mesh->reserve_path(e.now(), src, dst), h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, src, dst};
+  }
+
+  sim::Duration l_hop() const { return l_hop_; }
+
+  /// Total occupancy ever reserved on a directed link (for tests/reports).
+  sim::Duration link_total_occupancy(LinkId link) const;
+
+  /// Packets that crossed a directed link.
+  std::uint64_t link_packets(LinkId link) const;
+
+ private:
+  struct RouteRef {
+    std::uint32_t begin = 0;
+    std::uint32_t length = 0;
+  };
+
+  sim::Engine* engine_;
+  sim::Duration l_hop_;
+  sim::Duration link_occupancy_;
+  std::array<sim::Timeline, kNumLinkSlots> links_{};
+  std::array<sim::Duration, kNumLinkSlots> link_busy_{};
+  std::array<std::uint64_t, kNumLinkSlots> link_packets_{};
+  std::vector<LinkId> route_storage_;
+  std::array<std::array<RouteRef, kNumTiles>, kNumTiles> routes_{};
+};
+
+}  // namespace ocb::noc

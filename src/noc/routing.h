@@ -1,0 +1,40 @@
+// Deterministic X-Y routing (the SCC NoC's dimension-ordered scheme).
+//
+// A route is the ordered list of routers a packet visits: first along the X
+// dimension to the destination column, then along Y to the destination row.
+// Links are the directed edges between adjacent routers; they are the unit
+// at which the mesh model accounts occupancy.
+#pragma once
+
+#include <vector>
+
+#include "noc/geometry.h"
+
+namespace ocb::noc {
+
+/// Direction of a mesh link leaving a router.
+enum class Direction : std::uint8_t { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+/// Identifier of a directed link: source router index * 4 + direction.
+using LinkId = int;
+
+inline constexpr int kNumLinkSlots = kNumTiles * 4;
+
+/// Directed link from `from` towards `dir`. The neighbouring router must
+/// exist (checked).
+LinkId link_id(TileCoord from, Direction dir);
+
+/// Router sequence of the X-Y route from `src` to `dst` (inclusive of both;
+/// a single-element route when src == dst).
+std::vector<TileCoord> xy_route(TileCoord src, TileCoord dst);
+
+/// Directed links of the X-Y route, in traversal order (empty when
+/// src == dst).
+std::vector<LinkId> xy_route_links(TileCoord src, TileCoord dst);
+
+/// True if the route from src to dst traverses the directed link
+/// from->towards (adjacent tiles). Used by the §3.3 mesh-stress experiment
+/// to pick flows through a chosen link.
+bool route_uses_link(TileCoord src, TileCoord dst, TileCoord from, TileCoord towards);
+
+}  // namespace ocb::noc

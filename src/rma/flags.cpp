@@ -1,0 +1,31 @@
+#include "rma/flags.h"
+
+namespace ocb::rma {
+
+sim::Task<void> set_flag(scc::Core& self, MpbAddr flag, FlagValue value) {
+  co_await self.busy(self.chip().config().o_put_mpb);
+  co_await self.mpb_write_line(flag.owner, flag.line, encode_flag(value));
+}
+
+sim::Task<FlagValue> read_flag(scc::Core& self, MpbAddr flag) {
+  CacheLine cl;
+  co_await self.mpb_read_line(flag.owner, flag.line, cl);
+  co_return decode_flag(cl);
+}
+
+sim::Task<FlagValue> wait_flag_equal(scc::Core& self, MpbAddr flag, FlagValue expected) {
+  co_return co_await wait_flag(self, flag,
+                               [expected](FlagValue v) { return v == expected; });
+}
+
+sim::Task<FlagValue> wait_flag_at_least(scc::Core& self, MpbAddr flag,
+                                        FlagValue minimum) {
+  co_return co_await wait_flag(self, flag,
+                               [minimum](FlagValue v) { return v >= minimum; });
+}
+
+void host_init_flag(scc::SccChip& chip, MpbAddr flag, FlagValue value) {
+  chip.mpb(flag.owner).host_line(flag.line) = encode_flag(value);
+}
+
+}  // namespace ocb::rma

@@ -1,0 +1,80 @@
+// Cache-line flags for inter-core synchronization.
+//
+// The SCC guarantees read/write atomicity at 32-byte cache-line granularity
+// (paper §5.1), so one whole line per flag gives race-free flags with no
+// locks. A flag's value is a 64-bit integer stored in the line's first
+// eight bytes; the remaining bytes are free for the caller.
+//
+// Waiting models a poll loop without simulating every iteration: the waiter
+// does one line read per wake-up, parks on the line's store trigger between
+// unsuccessful checks, and pays a fresh read when the line changes — so the
+// observed set-to-detect latency is one local (or remote) line read, which
+// is the paper's "no time elapses between setting the flag and checking
+// that the flag is set" plus the physically required read.
+#pragma once
+
+#include <cstring>
+
+#include "rma/rma.h"
+#include "scc/chip.h"
+
+namespace ocb::rma {
+
+using FlagValue = std::uint64_t;
+
+/// Serializes a flag value into a cache line (little-endian, first 8 bytes).
+inline CacheLine encode_flag(FlagValue v) {
+  CacheLine cl{};
+  std::memcpy(cl.bytes.data(), &v, sizeof v);
+  return cl;
+}
+
+/// Reads the flag value out of a cache line.
+inline FlagValue decode_flag(const CacheLine& cl) {
+  FlagValue v;
+  std::memcpy(&v, cl.bytes.data(), sizeof v);
+  return v;
+}
+
+/// Packs (writer id, sequence) into a flag value; used by protocols whose
+/// flag lines see different writers over time.
+inline FlagValue pack_flag(CoreId writer, std::uint64_t seq) {
+  return (static_cast<FlagValue>(writer + 1) << 40) | (seq & ((1ULL << 40) - 1));
+}
+
+/// Writes `value` into a flag line of (possibly remote) core `flag.owner`.
+/// The value comes from a register, so this is a write-only single-line put
+/// (per-op overhead + one line write).
+sim::Task<void> set_flag(scc::Core& self, MpbAddr flag, FlagValue value);
+
+/// Reads a flag line (local or remote; full line-read cost either way).
+sim::Task<FlagValue> read_flag(scc::Core& self, MpbAddr flag);
+
+/// Polls a flag line until `pred(value)` holds; returns the accepted value.
+///
+/// The epoch capture closes the read-response window: the line's value is
+/// sampled at the owner's MPB, but the poller only learns it one mesh
+/// traversal later — a store landing in between must not be lost.
+template <typename Pred>
+sim::Task<FlagValue> wait_flag(scc::Core& self, MpbAddr flag, Pred pred) {
+  sim::Trigger& trigger = self.chip().mpb(flag.owner).line_trigger(flag.line);
+  for (;;) {
+    const std::uint64_t epoch = trigger.epoch();
+    CacheLine cl;
+    co_await self.mpb_read_line(flag.owner, flag.line, cl);
+    const FlagValue v = decode_flag(cl);
+    if (pred(v)) co_return v;
+    co_await trigger.wait_unless_changed(epoch);
+  }
+}
+
+/// Polls until the flag value is exactly `expected`.
+sim::Task<FlagValue> wait_flag_equal(scc::Core& self, MpbAddr flag, FlagValue expected);
+
+/// Polls until the flag value is >= `minimum` (monotone protocols).
+sim::Task<FlagValue> wait_flag_at_least(scc::Core& self, MpbAddr flag, FlagValue minimum);
+
+/// Host-side (zero simulated cost) flag initialization, for pre-run setup.
+void host_init_flag(scc::SccChip& chip, MpbAddr flag, FlagValue value);
+
+}  // namespace ocb::rma

@@ -1,0 +1,103 @@
+// iRCCE-style non-blocking send/recv.
+//
+// The SCC has no DMA engine: a "non-blocking" transfer cannot progress in
+// the background — all copying is done by the core itself whenever the
+// application calls test() (iRCCE's push/test model). What non-blocking
+// buys is *overlap of waiting with compute*: instead of spinning on the
+// partner's flag, the core checks once, goes back to useful work, and
+// pushes the next chunk when the partner is ready.
+//
+// The wire protocol is exactly rma::TwoSided's rendezvous (receiver posts
+// `ready`, sender puts the chunk and raises `sent`, per-ordered-pair
+// sequence numbers), so AsyncTwoSided interoperates with nothing — it owns
+// its flag/payload lines like every other protocol object, and an isend
+// must be matched by an irecv on the same AsyncTwoSided instance.
+//
+// Usage (inside a core coroutine):
+//
+//   auto req = async.isend(me, dst, offset, bytes);      // no simulated time
+//   while (!co_await async.test(me, req)) {              // one probe + any
+//     co_await me.busy(compute_slice);                   //   possible pushes
+//   }
+//   // or: co_await async.wait(me, req);                 // park until done
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "rma/twosided.h"
+
+namespace ocb::rma {
+
+class AsyncTwoSided {
+ public:
+  explicit AsyncTwoSided(scc::SccChip& chip, TwoSidedLayout layout = {});
+
+  /// Opaque request handle (valid for the lifetime of this object).
+  class Request {
+   public:
+    Request() = default;
+
+   private:
+    friend class AsyncTwoSided;
+    explicit Request(std::size_t index) : index_(index), valid_(true) {}
+    std::size_t index_ = 0;
+    bool valid_ = false;
+  };
+
+  /// Starts a send of `bytes` at `offset` of self's private memory to
+  /// `dst`. Costs no simulated time; all work happens in test()/wait().
+  Request isend(scc::Core& self, CoreId dst, std::size_t offset, std::size_t bytes);
+
+  /// Starts the matching receive into `offset` of self's private memory.
+  Request irecv(scc::Core& self, CoreId src, std::size_t offset, std::size_t bytes);
+
+  /// Makes as much progress as currently possible (one flag probe per
+  /// stalled chunk boundary, plus any enabled copies — which do occupy the
+  /// core). Returns true once the request has completed. Must be called by
+  /// the request's owning core.
+  sim::Task<bool> test(scc::Core& self, Request& request);
+
+  /// Blocks until completion: test(), parking on the stalling flag line
+  /// between unsuccessful probes (equivalent cost to the blocking call).
+  sim::Task<void> wait(scc::Core& self, Request& request);
+
+  /// True once the request completed (host-side query, no simulated time).
+  bool done(const Request& request) const;
+
+  const TwoSidedLayout& layout() const { return layout_; }
+
+ private:
+  enum class Kind : std::uint8_t { kSend, kRecv };
+  enum class Stage : std::uint8_t {
+    kAwaitReady,  // send: partner's ready flag not yet seen
+    kAwaitSent,   // recv: sender's sent flag not yet seen
+    kDone,
+  };
+
+  struct State {
+    Kind kind;
+    Stage stage;
+    CoreId owner;
+    CoreId peer;
+    std::size_t cursor;      // private-memory offset of the next chunk
+    std::size_t lines_left;  // whole message remainder in lines
+    std::uint64_t seq;       // pair sequence of the in-flight chunk
+    bool ready_posted;       // recv: announced readiness for `seq`
+  };
+
+  State& state_for(Request& request);
+  std::uint64_t& send_seq(CoreId from, CoreId to);
+  std::uint64_t& recv_seq(CoreId from, CoreId to);
+
+  scc::SccChip* chip_;
+  TwoSidedLayout layout_;
+  // deque: stable references across concurrent isend/irecv posts
+  // (test()/wait() hold a State& across suspension points).
+  std::deque<State> states_;
+  std::array<std::uint64_t, kNumCores * kNumCores> send_seq_{};
+  std::array<std::uint64_t, kNumCores * kNumCores> recv_seq_{};
+};
+
+}  // namespace ocb::rma

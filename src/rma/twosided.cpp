@@ -1,0 +1,78 @@
+#include "rma/twosided.h"
+
+#include "common/require.h"
+
+namespace ocb::rma {
+
+void TwoSidedLayout::validate() const {
+  OCB_REQUIRE(payload_lines > 0, "empty two-sided payload buffer");
+  OCB_REQUIRE(payload_line + payload_lines <= kMpbCacheLines,
+              "two-sided payload buffer exceeds the MPB");
+  OCB_REQUIRE(ready_line != sent_line, "ready and sent flags must differ");
+  auto inside_payload = [this](std::size_t line) {
+    return line >= payload_line && line < payload_line + payload_lines;
+  };
+  OCB_REQUIRE(!inside_payload(ready_line) && !inside_payload(sent_line),
+              "flag lines overlap the payload buffer");
+}
+
+TwoSided::TwoSided(scc::SccChip& chip, TwoSidedLayout layout)
+    : chip_(&chip), layout_(layout) {
+  layout_.validate();
+}
+
+std::uint64_t& TwoSided::send_seq(CoreId from, CoreId to) {
+  noc::require_core(from);
+  noc::require_core(to);
+  return send_seq_[static_cast<std::size_t>(from) * kNumCores +
+                   static_cast<std::size_t>(to)];
+}
+
+std::uint64_t& TwoSided::recv_seq(CoreId from, CoreId to) {
+  noc::require_core(from);
+  noc::require_core(to);
+  return recv_seq_[static_cast<std::size_t>(from) * kNumCores +
+                   static_cast<std::size_t>(to)];
+}
+
+sim::Task<void> TwoSided::send(scc::Core& self, CoreId dst, std::size_t offset,
+                               std::size_t bytes) {
+  OCB_REQUIRE(dst != self.id(), "send to self");
+  OCB_REQUIRE(bytes > 0, "empty send");
+  std::size_t lines_left = cache_lines_for(bytes);
+  std::size_t cursor = offset;
+  while (lines_left > 0) {
+    const std::size_t chunk = std::min(lines_left, layout_.payload_lines);
+    const std::uint64_t s = ++send_seq(self.id(), dst);
+    co_await wait_flag_equal(self, MpbAddr{dst, layout_.ready_line},
+                             pack_flag(self.id(), s));
+    co_await put_mem_to_mpb(self, MpbAddr{dst, layout_.payload_line}, cursor, chunk);
+    co_await set_flag(self, MpbAddr{dst, layout_.sent_line}, pack_flag(self.id(), s));
+    lines_left -= chunk;
+    cursor += chunk * kCacheLineBytes;
+  }
+}
+
+sim::Task<void> TwoSided::recv(scc::Core& self, CoreId src, std::size_t offset,
+                               std::size_t bytes) {
+  OCB_REQUIRE(src != self.id(), "recv from self");
+  OCB_REQUIRE(bytes > 0, "empty recv");
+  std::size_t lines_left = cache_lines_for(bytes);
+  std::size_t cursor = offset;
+  while (lines_left > 0) {
+    const std::size_t chunk = std::min(lines_left, layout_.payload_lines);
+    const std::uint64_t s = ++recv_seq(src, self.id());
+    // Announce readiness in the local MPB: write cost, no arbitration.
+    co_await self.busy(self.chip().config().o_put_mpb);
+    co_await self.mpb_write_line(self.id(), layout_.ready_line,
+                                 encode_flag(pack_flag(src, s)));
+    co_await wait_flag_equal(self, MpbAddr{self.id(), layout_.sent_line},
+                             pack_flag(src, s));
+    co_await get_mpb_to_mem(self, cursor, MpbAddr{self.id(), layout_.payload_line},
+                            chunk);
+    lines_left -= chunk;
+    cursor += chunk * kCacheLineBytes;
+  }
+}
+
+}  // namespace ocb::rma

@@ -1,0 +1,68 @@
+// Two-sided send/recv built on one-sided RMA (the RCCE approach, §1.1).
+//
+// Messages move through the *receiver's* MPB in chunks of up to
+// `payload_lines` cache lines (251 by default — the paper's M_rcce): the
+// sender puts a chunk from its private memory into the receiver's MPB
+// payload buffer, the receiver gets it into its private memory. A
+// send/receive pair therefore costs C_put^mem(m) + C_get^mem(m) per chunk
+// plus two flag operations — the structure the paper's Formula 14 models.
+//
+// Synchronization is a receiver-announced rendezvous with per-ordered-pair
+// sequence numbers:
+//
+//   receiver: ready := pack(src, s)   (its own MPB; single writer = owner)
+//             wait  sent == pack(src, s); get payload; next chunk
+//   sender:   wait  ready == pack(me, s)  (remote poll)
+//             put payload; sent := pack(me, s)
+//
+// Because a sender writes nothing until the receiver has posted a matching
+// ready, concurrent would-be senders to one receiver serialize safely, and
+// back-to-back iterations cannot overwrite an unconsumed buffer. Both calls
+// block until their side of the transfer completes (RCCE semantics).
+#pragma once
+
+#include <array>
+
+#include "rma/flags.h"
+
+namespace ocb::rma {
+
+/// Where the two-sided protocol lives inside each core's MPB.
+struct TwoSidedLayout {
+  std::size_t ready_line = 0;
+  std::size_t sent_line = 1;
+  std::size_t payload_line = 2;
+  std::size_t payload_lines = 251;  ///< M_rcce, paper §5.1
+
+  void validate() const;
+};
+
+/// Shared endpoint table for matched send/recv between any core pair.
+/// Create one per chip (it holds the pairwise sequence counters); all cores
+/// use the same instance from their coroutines (single-threaded engine).
+class TwoSided {
+ public:
+  explicit TwoSided(scc::SccChip& chip, TwoSidedLayout layout = {});
+
+  /// Blocking send of `bytes` bytes at `offset` in self's private memory.
+  sim::Task<void> send(scc::Core& self, CoreId dst, std::size_t offset,
+                       std::size_t bytes);
+
+  /// Blocking receive into `offset` of self's private memory; must match a
+  /// send(dst=self) from `src` with the same byte count.
+  sim::Task<void> recv(scc::Core& self, CoreId src, std::size_t offset,
+                       std::size_t bytes);
+
+  const TwoSidedLayout& layout() const { return layout_; }
+
+ private:
+  std::uint64_t& send_seq(CoreId from, CoreId to);
+  std::uint64_t& recv_seq(CoreId from, CoreId to);
+
+  scc::SccChip* chip_;
+  TwoSidedLayout layout_;
+  std::array<std::uint64_t, kNumCores * kNumCores> send_seq_{};
+  std::array<std::uint64_t, kNumCores * kNumCores> recv_seq_{};
+};
+
+}  // namespace ocb::rma

@@ -1,0 +1,69 @@
+#include "scc/chip.h"
+
+#include "common/require.h"
+
+namespace ocb::scc {
+
+SccChip::SccChip(const SccConfig& config) : config_(config) {
+  config_.validate();
+  mesh_ = std::make_unique<noc::Mesh>(engine_, config_.l_hop, config_.link_occupancy);
+  for (int t = 0; t < kNumTiles; ++t) {
+    mpb_ports_[static_cast<std::size_t>(t)] =
+        std::make_unique<sim::ArbitratedServer>(engine_, config_.arbitration);
+  }
+  for (int m = 0; m < noc::kNumMemoryControllers; ++m) {
+    mc_ports_[static_cast<std::size_t>(m)] =
+        std::make_unique<sim::ArbitratedServer>(engine_, config_.arbitration);
+  }
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    mpbs_[i] = std::make_unique<mem::MpbStorage>(engine_);
+    memories_[i] = std::make_unique<mem::PrivateMemory>(config_.private_memory_limit);
+    cores_[i] = std::make_unique<Core>(*this, c);
+  }
+}
+
+Core& SccChip::core(CoreId id) {
+  noc::require_core(id);
+  return *cores_[static_cast<std::size_t>(id)];
+}
+
+mem::MpbStorage& SccChip::mpb(CoreId id) {
+  noc::require_core(id);
+  return *mpbs_[static_cast<std::size_t>(id)];
+}
+
+mem::PrivateMemory& SccChip::memory(CoreId id) {
+  noc::require_core(id);
+  return *memories_[static_cast<std::size_t>(id)];
+}
+
+sim::ArbitratedServer& SccChip::mpb_port(int tile_index) {
+  OCB_REQUIRE(tile_index >= 0 && tile_index < kNumTiles, "tile index out of range");
+  return *mpb_ports_[static_cast<std::size_t>(tile_index)];
+}
+
+sim::ArbitratedServer& SccChip::mc_port(int mc_index) {
+  OCB_REQUIRE(mc_index >= 0 && mc_index < noc::kNumMemoryControllers,
+              "memory controller index out of range");
+  return *mc_ports_[static_cast<std::size_t>(mc_index)];
+}
+
+sim::Task<void> SccChip::invoke_program(
+    std::function<sim::Task<void>(Core&)> program, Core& core) {
+  // `program` lives in this frame for the lifetime of the inner coroutine,
+  // which keeps lambda captures valid (a lambda coroutine's frame refers
+  // into its closure object).
+  co_await program(core);
+}
+
+void SccChip::spawn(CoreId id, std::function<sim::Task<void>(Core&)> program) {
+  OCB_REQUIRE(static_cast<bool>(program), "empty core program");
+  engine_.spawn(invoke_program(std::move(program), core(id)));
+}
+
+sim::RunResult SccChip::run(std::uint64_t max_events) {
+  return engine_.run(max_events);
+}
+
+}  // namespace ocb::scc

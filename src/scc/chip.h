@@ -1,0 +1,84 @@
+// SccChip: the assembled 48-core machine.
+//
+// Owns the event engine, the mesh, per-core MPB storage and private
+// memories, per-tile MPB ports, and per-controller banks; creates the 48
+// Core objects and spawns application coroutines onto them.
+//
+// Typical use:
+//
+//   scc::SccChip chip;                       // default = paper's SCC
+//   for (CoreId c = 0; c < kNumCores; ++c)
+//     chip.spawn(c, [&](scc::Core& core) { return my_program(core); });
+//   auto result = chip.run();                // drains all events
+//
+// The chip is single-threaded and deterministic; run() may be called
+// repeatedly as more work is spawned.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "mem/mpb.h"
+#include "mem/private_memory.h"
+#include "noc/mesh.h"
+#include "noc/memctrl.h"
+#include "scc/config.h"
+#include "scc/core.h"
+#include "scc/trace.h"
+#include "sim/engine.h"
+
+namespace ocb::scc {
+
+class SccChip {
+ public:
+  explicit SccChip(const SccConfig& config = SccConfig{});
+
+  SccChip(const SccChip&) = delete;
+  SccChip& operator=(const SccChip&) = delete;
+
+  const SccConfig& config() const { return config_; }
+  sim::Engine& engine() { return engine_; }
+  sim::Time now() const { return engine_.now(); }
+  noc::Mesh& mesh() { return *mesh_; }
+
+  Core& core(CoreId id);
+  mem::MpbStorage& mpb(CoreId id);
+  mem::PrivateMemory& memory(CoreId id);
+  sim::ArbitratedServer& mpb_port(int tile_index);
+  sim::ArbitratedServer& mc_port(int mc_index);
+
+  /// Spawns `program(core(id))` as a simulated process starting now.
+  /// The callable is kept alive for the whole run (lambda captures are
+  /// safe).
+  void spawn(CoreId id, std::function<sim::Task<void>(Core&)> program);
+
+  /// Runs the event loop to completion; see sim::Engine::run.
+  sim::RunResult run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Installs (or clears, with an empty function) a per-transaction trace
+  /// sink; see scc/trace.h.
+  void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
+  bool tracing() const { return static_cast<bool>(trace_sink_); }
+  /// Emits one event (no-op unless tracing). Called by Core.
+  void trace(const TraceEvent& event) {
+    if (trace_sink_) trace_sink_(event);
+  }
+
+ private:
+  static sim::Task<void> invoke_program(
+      std::function<sim::Task<void>(Core&)> program, Core& core);
+
+  SccConfig config_;
+  sim::Engine engine_;
+  std::unique_ptr<noc::Mesh> mesh_;
+  std::array<std::unique_ptr<mem::MpbStorage>, kNumCores> mpbs_;
+  std::array<std::unique_ptr<mem::PrivateMemory>, kNumCores> memories_;
+  std::array<std::unique_ptr<sim::ArbitratedServer>, kNumTiles> mpb_ports_;
+  std::array<std::unique_ptr<sim::ArbitratedServer>, noc::kNumMemoryControllers>
+      mc_ports_;
+  std::array<std::unique_ptr<Core>, kNumCores> cores_;
+  TraceSink trace_sink_;
+};
+
+}  // namespace ocb::scc

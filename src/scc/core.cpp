@@ -1,0 +1,181 @@
+#include "scc/core.h"
+
+#include "common/require.h"
+#include "scc/chip.h"
+
+namespace ocb::scc {
+
+bool DataCache::lookup(std::size_t offset) {
+  auto it = map_.find(offset);
+  if (it == map_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void DataCache::insert(std::size_t offset) {
+  auto it = map_.find(offset);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(offset);
+  map_.emplace(offset, lru_.begin());
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void DataCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+Core::Core(SccChip& chip, CoreId id)
+    : chip_(&chip),
+      id_(id),
+      tile_(noc::tile_of_core(id)),
+      mc_tile_(noc::mc_tile_for_core(id)),
+      mem_distance_(noc::mem_distance(id)),
+      cache_(chip.config().cache_capacity_lines),
+      rng_(SplitMix64(chip.config().seed + 0x9e37u * static_cast<std::uint64_t>(id))
+               .next()),
+      irq_trigger_(chip.engine()) {}
+
+int Core::mpb_distance(CoreId other) const {
+  return noc::routers_traversed(tile_, noc::tile_of_core(other));
+}
+
+sim::Time Core::now() const { return chip_->engine().now(); }
+
+sim::Duration Core::jittered(sim::Duration d) {
+  const sim::Duration j = chip_->config().jitter;
+  if (j == 0) return d;
+  return d + rng_.next_below(j + 1);
+}
+
+sim::Task<void> Core::busy(sim::Duration d) {
+  const sim::Time t0 = now();
+  co_await chip_->engine().sleep(jittered(d));
+  if (chip_->tracing()) {
+    chip_->trace({TraceOp::kBusy, id_, id_, 0, t0, now()});
+  }
+}
+
+sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& out) {
+  const SccConfig& cfg = chip_->config();
+  const noc::TileCoord owner_tile = noc::tile_of_core(owner);
+  const sim::Time t0 = now();
+  co_await core_overhead(cfg.o_mpb_core);
+  // Request packet to the owner's router (d = manhattan + 1 router hops for
+  // the round trip is split as: d hops there, d hops back; the MPB port
+  // service sits in between).
+  co_await chip_->mesh().traverse(tile_, owner_tile);
+  if (owner == id_ && !cfg.local_mpb_uses_port) {
+    // Own MPB: same latency, but no arbitration against remote requesters.
+    co_await chip_->engine().sleep(cfg.t_mpb_port);
+  } else {
+    co_await chip_->mpb_port(noc::tile_index_of_core(owner))
+        .use(cfg.t_mpb_port, /*priority=*/id_);
+  }
+  out = chip_->mpb(owner).load(line);
+  co_await chip_->mesh().traverse(owner_tile, tile_);
+  if (chip_->tracing()) {
+    chip_->trace({TraceOp::kMpbRead, id_, owner, line, t0, now()});
+  }
+}
+
+sim::Task<void> Core::mpb_write_line(CoreId owner, std::size_t line, CacheLine value) {
+  const SccConfig& cfg = chip_->config();
+  const noc::TileCoord owner_tile = noc::tile_of_core(owner);
+  const sim::Time t0 = now();
+  co_await core_overhead(cfg.o_mpb_core);
+  co_await chip_->mesh().traverse(tile_, owner_tile);
+  if (owner == id_ && !cfg.local_mpb_uses_port) {
+    co_await chip_->engine().sleep(cfg.t_mpb_port);
+  } else {
+    co_await chip_->mpb_port(noc::tile_index_of_core(owner))
+        .use(cfg.t_mpb_port, /*priority=*/id_);
+  }
+  // The line becomes visible (and its trigger fires) here — before the
+  // acknowledgment returns to the writer, which is what makes the model's
+  // write latency (Formula 1) one mesh traversal shorter than its
+  // completion time (Formula 2).
+  chip_->mpb(owner).store(line, value);
+  co_await chip_->mesh().traverse(owner_tile, tile_);
+  if (chip_->tracing()) {
+    chip_->trace({TraceOp::kMpbWrite, id_, owner, line, t0, now()});
+  }
+}
+
+sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
+  const SccConfig& cfg = chip_->config();
+  const sim::Time t0 = now();
+  if (cfg.cache_enabled && cache_.lookup(offset)) {
+    co_await core_overhead(cfg.o_cache_hit);
+    out = chip_->memory(id_).load(offset);
+    if (chip_->tracing()) {
+      chip_->trace({TraceOp::kCacheHit, id_, id_, offset, t0, now()});
+    }
+    co_return;
+  }
+  co_await core_overhead(cfg.o_mem_core_read);
+  co_await chip_->mesh().traverse(tile_, mc_tile_);
+  co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
+  out = chip_->memory(id_).load(offset);
+  if (cfg.cache_enabled) cache_.insert(offset);
+  co_await chip_->mesh().traverse(mc_tile_, tile_);
+  if (chip_->tracing()) {
+    chip_->trace({TraceOp::kMemRead, id_, id_, offset, t0, now()});
+  }
+}
+
+sim::Task<void> Core::mem_write_line(std::size_t offset, CacheLine value) {
+  const SccConfig& cfg = chip_->config();
+  const sim::Time t0 = now();
+  // Write-through with allocate: the written line is warm afterwards (the
+  // §5.2.2 "resend from cache" effect) but the off-chip cost is always paid.
+  co_await core_overhead(cfg.o_mem_core_write);
+  co_await chip_->mesh().traverse(tile_, mc_tile_);
+  co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
+  chip_->memory(id_).store(offset, value);
+  if (cfg.cache_enabled) cache_.insert(offset);
+  co_await chip_->mesh().traverse(mc_tile_, tile_);
+  if (chip_->tracing()) {
+    chip_->trace({TraceOp::kMemWrite, id_, id_, offset, t0, now()});
+  }
+}
+
+// Internal overhead sleep: jittered like busy(), but not traced (the
+// enclosing transaction reports the whole interval).
+sim::Task<void> Core::core_overhead(sim::Duration d) {
+  co_await chip_->engine().sleep(jittered(d));
+}
+
+sim::Task<void> Core::send_interrupt(CoreId target) {
+  noc::require_core(target);
+  const SccConfig& cfg = chip_->config();
+  co_await core_overhead(cfg.o_ipi_send);
+  co_await chip_->mesh().traverse(tile_, noc::tile_of_core(target));
+  co_await chip_->engine().sleep(cfg.t_ipi_service);
+  chip_->core(target).raise_interrupt();
+  co_await chip_->mesh().traverse(noc::tile_of_core(target), tile_);
+}
+
+sim::Task<void> Core::wait_interrupt() {
+  while (irq_pending_ == 0) {
+    co_await irq_trigger_.wait();
+  }
+  --irq_pending_;
+  co_await core_overhead(chip_->config().o_irq_entry);
+}
+
+sim::Task<bool> Core::poll_interrupt() {
+  co_await core_overhead(chip_->config().o_irq_check);
+  if (irq_pending_ == 0) co_return false;
+  --irq_pending_;
+  co_await core_overhead(chip_->config().o_irq_entry);
+  co_return true;
+}
+
+}  // namespace ocb::scc

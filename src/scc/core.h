@@ -1,0 +1,132 @@
+// A simulated SCC core (P54C).
+//
+// Core exposes exactly the memory-traffic primitives the real core has: one
+// cache-line transaction at a time (the paper's §3.1.3 justification for
+// dropping LogP's g parameter), against its own MPB, any remote MPB, or its
+// private off-chip memory. Multi-line RMA operations (rma/rma.h) are loops
+// over these.
+//
+// All methods are coroutines; their completion times reproduce the model
+// formulas of Figure 2 (see scc/config.h for the parameter decomposition).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "noc/geometry.h"
+#include "sim/condition.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace ocb::scc {
+
+class SccChip;
+
+/// Write-allocate LRU set of private-memory line offsets (models the data
+/// cache keeping a just-transferred message warm; paper §5.2.2).
+class DataCache {
+ public:
+  explicit DataCache(std::size_t capacity_lines) : capacity_(capacity_lines) {}
+
+  /// True (and refreshed) if the line is cached.
+  bool lookup(std::size_t offset);
+
+  /// Inserts a line, evicting least-recently-used beyond capacity.
+  void insert(std::size_t offset);
+
+  void clear();
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::size_t> lru_;  // front = most recent
+  std::unordered_map<std::size_t, std::list<std::size_t>::iterator> map_;
+};
+
+class Core {
+ public:
+  Core(SccChip& chip, CoreId id);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  CoreId id() const { return id_; }
+  noc::TileCoord tile() const { return tile_; }
+  /// Routers between this core and its memory controller (model's d^mem).
+  int mem_distance() const { return mem_distance_; }
+  /// Routers between this core and core `other`'s MPB (model's d^mpb).
+  int mpb_distance(CoreId other) const;
+
+  SccChip& chip() { return *chip_; }
+  sim::Time now() const;
+
+  /// Deterministic per-core random stream.
+  Xoshiro256& rng() { return rng_; }
+
+  /// Occupies the core for `d` (plus configured jitter), e.g. software
+  /// overhead or application compute.
+  sim::Task<void> busy(sim::Duration d);
+
+  // --- single cache-line transactions ------------------------------------
+
+  /// Reads one line from core `owner`'s MPB into `out`.
+  /// Completion: o_mpb + 2d*L_hop (Formula 3).
+  sim::Task<void> mpb_read_line(CoreId owner, std::size_t line, CacheLine& out);
+
+  /// Writes one line into core `owner`'s MPB; returns when the write is
+  /// acknowledged (Formula 2); the data is visible remotely ~d*L_hop
+  /// earlier (Formula 1), which the store's placement models exactly.
+  sim::Task<void> mpb_write_line(CoreId owner, std::size_t line, CacheLine value);
+
+  /// Reads one line of this core's private memory (cache modelled).
+  /// Miss completion: o_mem_r + 2d*L_hop (Formula 6).
+  sim::Task<void> mem_read_line(std::size_t offset, CacheLine& out);
+
+  /// Writes one line of this core's private memory (write-through).
+  /// Completion: o_mem_w + 2d*L_hop (Formula 5).
+  sim::Task<void> mem_write_line(std::size_t offset, CacheLine value);
+
+  DataCache& cache() { return cache_; }
+
+  // --- inter-core interrupts (paper §7's MPMD direction) ------------------
+
+  /// Raises an interrupt at `target` by writing its configuration register
+  /// through the mesh. Completion: o_ipi_send + 2d*L_hop (+ service).
+  /// Interrupts are counted, not coalesced: n sends wake n waits.
+  sim::Task<void> send_interrupt(CoreId target);
+
+  /// Blocks until an interrupt is pending, consumes it, and charges the
+  /// trap/handler entry overhead (o_irq_entry).
+  sim::Task<void> wait_interrupt();
+
+  /// Checks-and-consumes a pending interrupt between compute quanta:
+  /// charges o_irq_check, plus o_irq_entry when one was taken.
+  sim::Task<bool> poll_interrupt();
+
+  /// Pending count (host-side query, no simulated cost).
+  int interrupts_pending() const { return irq_pending_; }
+
+ private:
+  friend class SccChip;
+  void raise_interrupt() {
+    ++irq_pending_;
+    irq_trigger_.fire();
+  }
+
+  sim::Duration jittered(sim::Duration d);
+  sim::Task<void> core_overhead(sim::Duration d);
+
+  SccChip* chip_;
+  CoreId id_;
+  noc::TileCoord tile_;
+  noc::TileCoord mc_tile_;
+  int mem_distance_;
+  DataCache cache_;
+  Xoshiro256 rng_;
+  int irq_pending_ = 0;
+  sim::Trigger irq_trigger_;
+};
+
+}  // namespace ocb::scc

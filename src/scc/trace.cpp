@@ -1,0 +1,23 @@
+#include "scc/trace.h"
+
+namespace ocb::scc {
+
+const char* trace_op_name(TraceOp op) {
+  switch (op) {
+    case TraceOp::kBusy:
+      return "busy";
+    case TraceOp::kMpbRead:
+      return "mpb-read";
+    case TraceOp::kMpbWrite:
+      return "mpb-write";
+    case TraceOp::kMemRead:
+      return "mem-read";
+    case TraceOp::kMemWrite:
+      return "mem-write";
+    case TraceOp::kCacheHit:
+      return "cache-hit";
+  }
+  return "?";
+}
+
+}  // namespace ocb::scc

@@ -1,0 +1,44 @@
+// Execution tracing.
+//
+// An optional per-transaction trace stream from the simulated cores: every
+// cache-line transaction (and busy interval) reports its kind, the cores
+// involved, and its simulated [start, end) — enough to reconstruct a
+// per-core timeline of a collective (see examples/trace_timeline.cpp) or
+// feed an external visualizer. Disabled (the default) it costs one branch
+// per transaction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/time.h"
+
+namespace ocb::scc {
+
+enum class TraceOp : std::uint8_t {
+  kBusy,      ///< software overhead / application compute
+  kMpbRead,   ///< one line read from `target`'s MPB
+  kMpbWrite,  ///< one line written to `target`'s MPB
+  kMemRead,   ///< one line read from private off-chip memory
+  kMemWrite,  ///< one line written to private off-chip memory
+  kCacheHit,  ///< private-memory read served by the data cache
+};
+
+/// Short lower-case label for an op kind ("mpb-read", ...).
+const char* trace_op_name(TraceOp op);
+
+struct TraceEvent {
+  TraceOp op;
+  CoreId core;        ///< the core executing the transaction
+  CoreId target;      ///< MPB owner for kMpb*, otherwise == core
+  std::size_t index;  ///< MPB line or memory byte offset
+  sim::Time start;
+  sim::Time end;
+};
+
+/// Sink invoked synchronously at each transaction's completion, in event
+/// order. Must not re-enter the simulation.
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+}  // namespace ocb::scc

@@ -1,0 +1,15 @@
+#include "sim/condition.h"
+
+namespace ocb::sim {
+
+void Trigger::fire(Duration delay) {
+  ++epoch_;
+  if (waiters_.empty()) return;
+  // Move out first: a woken waiter may re-wait on this same trigger.
+  std::vector<std::coroutine_handle<>> woken;
+  woken.swap(waiters_);
+  const Time t = engine_->now() + delay;
+  for (auto h : woken) engine_->schedule(t, h);
+}
+
+}  // namespace ocb::sim

@@ -1,0 +1,76 @@
+#include "sim/engine.h"
+
+#include "common/require.h"
+
+namespace ocb::sim {
+
+namespace detail {
+
+void RootPromise::FinalAwaiter::await_suspend(
+    std::coroutine_handle<RootPromise> h) const noexcept {
+  // The frame stays suspended here; the Engine destroys it at teardown.
+  RootPromise& p = h.promise();
+  p.finished = true;
+  if (p.engine != nullptr) p.engine->note_process_finished();
+}
+
+void RootPromise::unhandled_exception() noexcept {
+  if (engine != nullptr) engine->note_process_error(std::current_exception());
+}
+
+}  // namespace detail
+
+Engine::~Engine() {
+  for (auto h : roots_) {
+    if (h) h.destroy();
+  }
+}
+
+void Engine::schedule(Time t, std::coroutine_handle<> h) {
+  OCB_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, h, nullptr, nullptr});
+}
+
+void Engine::schedule_fn(Time t, void (*fn)(void*), void* ctx) {
+  OCB_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  OCB_REQUIRE(fn != nullptr, "null event callback");
+  queue_.push(Event{t, next_seq_++, {}, fn, ctx});
+}
+
+detail::RootTask Engine::make_root(Task<void> task) {
+  co_await std::move(task);
+}
+
+void Engine::spawn(Task<void> task) {
+  OCB_REQUIRE(task.valid(), "spawning an empty Task");
+  detail::RootTask root = make_root(std::move(task));
+  root.handle.promise().engine = this;
+  roots_.push_back(root.handle);
+  ++live_;
+  schedule(now_, root.handle);
+}
+
+RunResult Engine::run(std::uint64_t max_events) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && processed < max_events) {
+    Event ev = queue_.top();
+    queue_.pop();
+    OCB_ENSURE(ev.t >= now_, "event queue time went backwards");
+    now_ = ev.t;
+    ++processed;
+    if (ev.h) {
+      ev.h.resume();
+    } else {
+      ev.fn(ev.ctx);
+    }
+    if (first_error_) {
+      std::exception_ptr e = std::exchange(first_error_, nullptr);
+      events_processed_ += processed;
+      std::rethrow_exception(e);
+    }
+  }
+  events_processed_ += processed;
+  return RunResult{events_processed_, live_, now_};
+}
+
+}  // namespace ocb::sim

@@ -1,0 +1,145 @@
+// The discrete-event simulation engine.
+//
+// A single-threaded, deterministic event loop: events are (time, sequence)
+// ordered, ties broken by insertion order, so identical inputs produce
+// identical simulations on every platform. Simulated SCC cores run as
+// coroutines (sim::Task) spawned onto the engine; awaitables suspend them
+// and events resume them at computed times.
+//
+// Ownership model: Engine::spawn wraps each top-level Task in a root frame
+// the engine owns. Destroying the engine destroys every root frame, which
+// transitively frees any suspended nested call chain (see task.h), so a
+// deadlocked or partially-run simulation cannot leak.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace ocb::sim {
+
+class Engine;
+
+namespace detail {
+
+struct RootPromise;
+
+/// Handle for a spawned top-level process; owned by the Engine.
+struct RootTask {
+  using promise_type = RootPromise;
+  std::coroutine_handle<RootPromise> handle;
+};
+
+struct RootPromise {
+  Engine* engine = nullptr;
+  bool finished = false;
+
+  RootTask get_return_object() {
+    return RootTask{std::coroutine_handle<RootPromise>::from_promise(*this)};
+  }
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<RootPromise> h) const noexcept;
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void return_void() noexcept {}
+  void unhandled_exception() noexcept;
+};
+
+}  // namespace detail
+
+/// Outcome of Engine::run().
+struct RunResult {
+  std::uint64_t events_processed = 0;
+  /// Processes spawned but not finished when the event queue drained.
+  /// Non-zero means the simulation deadlocked (e.g. a flag never set).
+  std::size_t stalled_processes = 0;
+  Time end_time = 0;
+
+  bool completed() const { return stalled_processes == 0; }
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute time `t` (>= now()).
+  void schedule(Time t, std::coroutine_handle<> h);
+
+  /// Schedules a plain callback (no allocation; fn must outlive the event).
+  void schedule_fn(Time t, void (*fn)(void*), void* ctx);
+
+  /// Starts a top-level process at the current simulated time.
+  void spawn(Task<void> task);
+
+  /// Number of spawned processes that have not yet finished.
+  std::size_t live_processes() const { return live_; }
+
+  /// Awaitable: suspends the caller for `d` simulated time.
+  auto sleep(Duration d) {
+    struct Awaiter {
+      Engine* engine;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        engine->schedule(engine->now() + d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Runs until the event queue drains or `max_events` is hit. Rethrows the
+  /// first exception that escaped any process. Returns queue statistics.
+  RunResult run(std::uint64_t max_events = UINT64_MAX);
+
+ private:
+  friend struct detail::RootPromise;
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h{};   // resume if set ...
+    void (*fn)(void*) = nullptr;   // ... else call fn(ctx)
+    void* ctx = nullptr;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  static detail::RootTask make_root(Task<void> task);
+
+  void note_process_finished() { --live_; }
+  void note_process_error(std::exception_ptr e) {
+    if (!first_error_) first_error_ = e;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<std::coroutine_handle<detail::RootPromise>> roots_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_ = 0;
+  std::exception_ptr first_error_{};
+};
+
+}  // namespace ocb::sim

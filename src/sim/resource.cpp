@@ -1,0 +1,60 @@
+#include "sim/resource.h"
+
+#include "common/require.h"
+
+namespace ocb::sim {
+
+void ArbitratedServer::enqueue(std::coroutine_handle<> h, Duration service,
+                               int priority) {
+  Waiter w{h, service, priority, next_seq_++};
+  if (!busy_) {
+    begin_service(w);
+  } else {
+    queue_.push_back(w);
+  }
+}
+
+void ArbitratedServer::begin_service(const Waiter& w) {
+  busy_ = true;
+  in_service_ = w.h;
+  busy_time_ += w.service;
+  engine_->schedule_fn(engine_->now() + w.service, &complete_trampoline, this);
+}
+
+std::size_t ArbitratedServer::pick_next() const {
+  OCB_ENSURE(!queue_.empty(), "pick_next on empty queue");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const Waiter& a = queue_[i];
+    const Waiter& b = queue_[best];
+    bool better = false;
+    switch (policy_) {
+      case Arbitration::kFifo:
+        better = a.seq < b.seq;
+        break;
+      case Arbitration::kPositional:
+        better = a.priority != b.priority ? a.priority < b.priority : a.seq < b.seq;
+        break;
+    }
+    if (better) best = i;
+  }
+  return best;
+}
+
+void ArbitratedServer::on_complete() {
+  ++total_served_;
+  std::coroutine_handle<> done = std::exchange(in_service_, {});
+  if (queue_.empty()) {
+    busy_ = false;
+  } else {
+    const std::size_t i = pick_next();
+    Waiter next = queue_[i];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    begin_service(next);
+  }
+  // Resume the finished requester last so a synchronous re-request from it
+  // queues behind the service we just started.
+  done.resume();
+}
+
+}  // namespace ocb::sim

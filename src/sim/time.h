@@ -1,0 +1,37 @@
+// Simulated time.
+//
+// Time is an unsigned 64-bit count of picoseconds since simulation start.
+// Integer picoseconds were chosen because every SCC model parameter in the
+// paper (Table 1) is an exact multiple of 1 ns, so all arithmetic is exact
+// and runs are bit-reproducible; 2^64 ps ≈ 213 days of simulated time, far
+// beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+
+namespace ocb::sim {
+
+/// Absolute simulated time in picoseconds.
+using Time = std::uint64_t;
+
+/// Relative simulated time in picoseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kPicosecond = 1;
+inline constexpr Duration kNanosecond = 1'000;
+inline constexpr Duration kMicrosecond = 1'000'000;
+inline constexpr Duration kMillisecond = 1'000'000'000;
+
+/// Converts nanoseconds to the internal unit.
+constexpr Duration from_ns(std::uint64_t ns) { return ns * kNanosecond; }
+
+/// Converts a Duration to fractional microseconds (for reporting only).
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts a Duration to fractional nanoseconds (for reporting only).
+constexpr double to_ns(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Converts a Duration to fractional seconds (for throughput math).
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e12; }
+
+}  // namespace ocb::sim

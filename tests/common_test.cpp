@@ -1,0 +1,180 @@
+// Unit tests for src/common: types, rng, stats, format, require.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/format.h"
+#include "common/require.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace ocb {
+namespace {
+
+TEST(Require, ThrowsWithMessage) {
+  try {
+    OCB_REQUIRE(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesSilently) {
+  EXPECT_NO_THROW(OCB_REQUIRE(true, "never"));
+}
+
+TEST(Types, CacheLinesFor) {
+  EXPECT_EQ(cache_lines_for(0), 0u);
+  EXPECT_EQ(cache_lines_for(1), 1u);
+  EXPECT_EQ(cache_lines_for(32), 1u);
+  EXPECT_EQ(cache_lines_for(33), 2u);
+  EXPECT_EQ(cache_lines_for(64), 2u);
+  EXPECT_EQ(cache_lines_for(1 << 20), 32768u);
+}
+
+TEST(Types, CacheLineRoundTrip) {
+  std::array<std::byte, 20> src{};
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i + 1);
+  const CacheLine cl = cache_line_from(src);
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(cl.bytes[i], src[i]);
+  for (std::size_t i = src.size(); i < kCacheLineBytes; ++i) {
+    EXPECT_EQ(cl.bytes[i], std::byte{0}) << "tail must be zero-padded";
+  }
+  std::array<std::byte, 10> dst{};
+  cache_line_to(cl, dst);
+  EXPECT_TRUE(std::memcmp(dst.data(), src.data(), dst.size()) == 0);
+}
+
+TEST(Types, CacheLineEquality) {
+  CacheLine a, b;
+  EXPECT_EQ(a, b);
+  b.bytes[31] = std::byte{1};
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 48ull, 1000000007ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversValues) {
+  Xoshiro256 rng(3);
+  std::array<int, 8> hits{};
+  for (int i = 0; i < 4000; ++i) ++hits[rng.next_below(8)];
+  for (int h : hits) EXPECT_GT(h, 300);  // roughly uniform
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RunningStats, Moments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), PreconditionError);
+  EXPECT_THROW(s.min(), PreconditionError);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(SampleStats, Percentiles) {
+  SampleStats s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // unsorted insert
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_THROW(s.percentile(101), PreconditionError);
+}
+
+TEST(SampleStats, AddAfterPercentileStillSorted) {
+  SampleStats s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("a     long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx  1"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_us_from_ps(1'500'000), "1.500");
+}
+
+TEST(Format, CsvRoundTrip) {
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "ocb_format_test.csv").string();
+  write_csv(path, {"h1", "h2"}, {{"1", "a"}, {"2", "b"}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h1,h2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,a");
+  std::filesystem::remove(path);
+}
+
+TEST(Format, CsvBadPathThrows) {
+  EXPECT_THROW(write_csv("/nonexistent-dir-xyz/file.csv", {"h"}, {}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ocb

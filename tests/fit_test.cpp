@@ -1,0 +1,115 @@
+// Tests for least-squares fitting and Table 1 parameter recovery.
+#include <gtest/gtest.h>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "model/fit.h"
+#include "model/primitives.h"
+
+namespace ocb::model {
+namespace {
+
+TEST(LeastSquares, ExactLinearSystem) {
+  // y = 2*x0 + 3*x1 - 1*x2
+  const std::vector<std::vector<double>> rows{
+      {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}, {2, 1, 0}};
+  const std::vector<double> rhs{2, 3, -1, 4, 7};
+  const auto x = least_squares(rows, rhs);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+  EXPECT_NEAR(x[2], -1.0, 1e-9);
+}
+
+TEST(LeastSquares, OverdeterminedNoisyAveragesOut) {
+  Xoshiro256 rng(11);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.next_double() * 10;
+    const double b = rng.next_double() * 10;
+    rows.push_back({a, b, 1.0});
+    const double noise = (rng.next_double() - 0.5) * 0.01;
+    rhs.push_back(1.5 * a - 0.7 * b + 4.0 + noise);
+  }
+  const auto x = least_squares(rows, rhs);
+  EXPECT_NEAR(x[0], 1.5, 1e-2);
+  EXPECT_NEAR(x[1], -0.7, 1e-2);
+  EXPECT_NEAR(x[2], 4.0, 1e-2);
+}
+
+TEST(LeastSquares, SingularSystemThrows) {
+  // Second column is a multiple of the first.
+  const std::vector<std::vector<double>> rows{{1, 2}, {2, 4}, {3, 6}};
+  const std::vector<double> rhs{1, 2, 3};
+  EXPECT_THROW(least_squares(rows, rhs), PreconditionError);
+}
+
+TEST(LeastSquares, InputValidation) {
+  EXPECT_THROW(least_squares({}, {}), PreconditionError);
+  EXPECT_THROW(least_squares({{1.0}}, {1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(least_squares({{1.0}, {1.0, 2.0}}, {1.0, 2.0}), PreconditionError);
+}
+
+std::vector<OpSample> samples_from_model(const ModelParams& p) {
+  std::vector<OpSample> samples;
+  for (std::size_t m : {1u, 4u, 8u, 16u}) {
+    for (int d = 1; d <= 9; d += 2) {
+      samples.push_back({OpSample::Kind::kPutFromMpb, m, 1, d,
+                         sim::to_us(put_from_mpb_completion(p, m, d))});
+      samples.push_back({OpSample::Kind::kGetToMpb, m, d, 1,
+                         sim::to_us(get_to_mpb_completion(p, m, d))});
+    }
+    for (int d = 1; d <= 4; ++d) {
+      samples.push_back({OpSample::Kind::kPutFromMem, m, d, 1,
+                         sim::to_us(put_from_mem_completion(p, m, d, 1))});
+      samples.push_back({OpSample::Kind::kGetToMem, m, 1, d,
+                         sim::to_us(get_to_mem_completion(p, m, 1, d))});
+    }
+  }
+  return samples;
+}
+
+TEST(Fit, RecoversPaperParametersExactly) {
+  const ModelParams truth = ModelParams::paper();
+  const FitResult fit = fit_model_params(samples_from_model(truth));
+  EXPECT_EQ(fit.params.l_hop, truth.l_hop);
+  EXPECT_EQ(fit.params.o_mpb, truth.o_mpb);
+  EXPECT_EQ(fit.params.o_mem_r, truth.o_mem_r);
+  EXPECT_EQ(fit.params.o_mem_w, truth.o_mem_w);
+  EXPECT_EQ(fit.params.o_put_mpb, truth.o_put_mpb);
+  EXPECT_EQ(fit.params.o_get_mpb, truth.o_get_mpb);
+  EXPECT_EQ(fit.params.o_put_mem, truth.o_put_mem);
+  EXPECT_EQ(fit.params.o_get_mem, truth.o_get_mem);
+  EXPECT_LT(fit.max_relative_error, 1e-6);
+}
+
+TEST(Fit, RecoversPerturbedParameters) {
+  ModelParams truth;
+  truth.l_hop = 7 * sim::kNanosecond;
+  truth.o_mpb = 200 * sim::kNanosecond;
+  truth.o_mem_r = 300 * sim::kNanosecond;
+  truth.o_mem_w = 500 * sim::kNanosecond;
+  truth.o_put_mpb = 10 * sim::kNanosecond;
+  truth.o_get_mpb = 20 * sim::kNanosecond;
+  truth.o_put_mem = 30 * sim::kNanosecond;
+  truth.o_get_mem = 40 * sim::kNanosecond;
+  const FitResult fit = fit_model_params(samples_from_model(truth));
+  EXPECT_EQ(fit.params.l_hop, truth.l_hop);
+  EXPECT_EQ(fit.params.o_get_mpb, truth.o_get_mpb);
+  EXPECT_EQ(fit.params.o_mem_w, truth.o_mem_w);
+}
+
+TEST(Fit, SingleOpKindIsSingular) {
+  // Put-from-MPB samples alone cannot identify the memory parameters.
+  const ModelParams p = ModelParams::paper();
+  std::vector<OpSample> samples;
+  for (int d = 1; d <= 9; ++d) {
+    samples.push_back({OpSample::Kind::kPutFromMpb, 4, 1, d,
+                       sim::to_us(put_from_mpb_completion(p, 4, d))});
+  }
+  EXPECT_THROW(fit_model_params(samples), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ocb::model

@@ -1,0 +1,112 @@
+// Unit tests for MPB storage and private off-chip memory.
+#include <gtest/gtest.h>
+
+#include "mem/mpb.h"
+#include "mem/private_memory.h"
+#include "sim/engine.h"
+
+namespace ocb::mem {
+namespace {
+
+CacheLine line_of(std::uint8_t fill) {
+  CacheLine cl;
+  cl.bytes.fill(std::byte{fill});
+  return cl;
+}
+
+TEST(MpbStorage, LoadStoreRoundTrip) {
+  sim::Engine e;
+  MpbStorage mpb(e);
+  mpb.store(0, line_of(0xAA));
+  mpb.store(255, line_of(0xBB));
+  EXPECT_EQ(mpb.load(0), line_of(0xAA));
+  EXPECT_EQ(mpb.load(255), line_of(0xBB));
+  EXPECT_EQ(mpb.load(100), CacheLine{}) << "untouched lines read as zero";
+}
+
+TEST(MpbStorage, BoundsChecked) {
+  sim::Engine e;
+  MpbStorage mpb(e);
+  EXPECT_THROW(mpb.load(256), PreconditionError);
+  EXPECT_THROW(mpb.store(256, CacheLine{}), PreconditionError);
+  EXPECT_THROW(mpb.line_trigger(256), PreconditionError);
+}
+
+TEST(MpbStorage, CapacityIs256Lines) {
+  EXPECT_EQ(MpbStorage::capacity_lines(), 256u);
+  EXPECT_EQ(kMpbBytesPerCore, 8u * 1024u);
+}
+
+TEST(MpbStorage, StoreFiresLineTrigger) {
+  sim::Engine e;
+  MpbStorage mpb(e);
+  sim::Trigger& t = mpb.line_trigger(7);
+  EXPECT_EQ(t.epoch(), 0u);
+  mpb.store(7, line_of(1));
+  EXPECT_EQ(t.epoch(), 1u);
+  mpb.store(8, line_of(1));
+  EXPECT_EQ(t.epoch(), 1u) << "other lines do not fire this trigger";
+}
+
+TEST(MpbStorage, HostLineBypassesTrigger) {
+  sim::Engine e;
+  MpbStorage mpb(e);
+  sim::Trigger& t = mpb.line_trigger(3);
+  mpb.host_line(3) = line_of(9);
+  EXPECT_EQ(t.epoch(), 0u);
+  EXPECT_EQ(mpb.load(3), line_of(9));
+}
+
+TEST(MpbStorage, TriggerIdentityStablePerLine) {
+  sim::Engine e;
+  MpbStorage mpb(e);
+  EXPECT_EQ(&mpb.line_trigger(5), &mpb.line_trigger(5));
+  EXPECT_NE(&mpb.line_trigger(5), &mpb.line_trigger(6));
+}
+
+TEST(PrivateMemory, LoadStoreRoundTrip) {
+  PrivateMemory mem;
+  mem.store(64, line_of(0x5C));
+  EXPECT_EQ(mem.load(64), line_of(0x5C));
+  EXPECT_EQ(mem.load(128), CacheLine{}) << "fresh memory reads as zero";
+}
+
+TEST(PrivateMemory, AlignmentEnforced) {
+  PrivateMemory mem;
+  EXPECT_THROW(mem.load(1), PreconditionError);
+  EXPECT_THROW(mem.store(33, CacheLine{}), PreconditionError);
+  EXPECT_NO_THROW(mem.load(0));
+  EXPECT_NO_THROW(mem.load(32));
+}
+
+TEST(PrivateMemory, GrowsOnDemand) {
+  PrivateMemory mem;
+  EXPECT_EQ(mem.size(), 0u);
+  mem.store(1024, line_of(1));
+  EXPECT_GE(mem.size(), 1056u);
+}
+
+TEST(PrivateMemory, LimitEnforced) {
+  PrivateMemory mem(/*limit_bytes=*/2 << 20);
+  EXPECT_NO_THROW(mem.store((2u << 20) - 32, line_of(1)));
+  EXPECT_THROW(mem.store(2u << 20, line_of(1)), PreconditionError);
+  EXPECT_THROW(mem.host_bytes(0, (2u << 20) + 1), PreconditionError);
+}
+
+TEST(PrivateMemory, HostBytesWindowIsLive) {
+  PrivateMemory mem;
+  auto w = mem.host_bytes(96, 32);
+  w[0] = std::byte{0x42};
+  EXPECT_EQ(mem.load(96).bytes[0], std::byte{0x42});
+  mem.store(96, line_of(0x11));
+  EXPECT_EQ(w[0], std::byte{0x11});
+}
+
+TEST(PrivateMemory, SeparateInstancesIsolated) {
+  PrivateMemory a, b;
+  a.store(0, line_of(1));
+  EXPECT_EQ(b.load(0), CacheLine{});
+}
+
+}  // namespace
+}  // namespace ocb::mem

@@ -1,0 +1,279 @@
+// Tests for the analytical model: Figure 2 primitives against
+// hand-computed Table 1 arithmetic, Formulas 13-16, and the reconstructed
+// complete broadcast model's qualitative properties.
+#include <gtest/gtest.h>
+
+#include "common/require.h"
+#include "model/broadcast_model.h"
+#include "model/primitives.h"
+#include "model/reduce_model.h"
+
+namespace ocb::model {
+namespace {
+
+constexpr sim::Duration ns(std::uint64_t v) { return v * sim::kNanosecond; }
+
+TEST(Primitives, SingleLineFormulasMatchHandComputation) {
+  const ModelParams p = ModelParams::paper();
+  // C_r^mpb(1) = 126 + 2*5 = 136 ns; at d=9: 126 + 90 = 216 ns.
+  EXPECT_EQ(mpb_read_completion(p, 1), ns(136));
+  EXPECT_EQ(mpb_read_completion(p, 9), ns(216));
+  // Write latency vs completion differ by d*L_hop.
+  EXPECT_EQ(mpb_write_latency(p, 3), ns(126 + 15));
+  EXPECT_EQ(mpb_write_completion(p, 3), ns(126 + 30));
+  // Memory: o_mem_r = 208, o_mem_w = 461.
+  EXPECT_EQ(mem_read_completion(p, 4), ns(208 + 40));
+  EXPECT_EQ(mem_write_latency(p, 2), ns(461 + 10));
+  EXPECT_EQ(mem_write_completion(p, 2), ns(461 + 20));
+}
+
+TEST(Primitives, PutFormulas) {
+  const ModelParams p = ModelParams::paper();
+  // Formula 7, m=4, d_dst=2:
+  // 69 + 4*(126+10) + 4*(126+20) = 69 + 544 + 584 = 1197 ns.
+  EXPECT_EQ(put_from_mpb_completion(p, 4, 2), ns(1197));
+  // Formula 9 (latency): completion - d_dst*L_hop = 1197 - 10.
+  EXPECT_EQ(put_from_mpb_latency(p, 4, 2), ns(1187));
+  // Formula 8, m=2, d_src=3, d_dst=1:
+  // 190 + 2*(208+30) + 2*(126+10) = 190 + 476 + 272 = 938 ns.
+  EXPECT_EQ(put_from_mem_completion(p, 2, 3, 1), ns(938));
+  EXPECT_EQ(put_from_mem_latency(p, 2, 3, 1), ns(938 - 5));
+}
+
+TEST(Primitives, GetFormulas) {
+  const ModelParams p = ModelParams::paper();
+  // Formula 11, m=96, d_src=1: 330 + 96*136 + 96*136 = 26442 ns.
+  EXPECT_EQ(get_to_mpb_completion(p, 96, 1), ns(26'442));
+  // Formula 12, m=96, d_src=1, d_dst=1: 95 + 96*136 + 96*471 = 58367 ns.
+  EXPECT_EQ(get_to_mem_completion(p, 96, 1, 1), ns(58'367));
+}
+
+TEST(Primitives, DistanceMustBePositive) {
+  const ModelParams p = ModelParams::paper();
+  EXPECT_THROW(mpb_read_completion(p, 0), PreconditionError);
+  EXPECT_THROW(put_from_mpb_latency(p, 0, 1), PreconditionError);
+}
+
+TEST(TreeDepths, ClosedForms) {
+  EXPECT_EQ(kary_depth(48, 7), 2);
+  EXPECT_EQ(kary_depth(48, 47), 1);
+  EXPECT_EQ(kary_depth(48, 2), 5);
+  EXPECT_EQ(binomial_rounds(48), 6);
+  EXPECT_EQ(binomial_rounds(2), 1);
+  EXPECT_EQ(binomial_rounds(64), 6);
+  EXPECT_EQ(binomial_rounds(65), 7);
+}
+
+TEST(Formula15, MatchesPaperScale) {
+  BroadcastModel m(ModelParams::paper(), {});
+  // 32 B / (2*136 + 136 + 471) ns = 32/0.879us = 36.4 MB/s; the paper's
+  // Table 2 reports 34-36 MB/s from the complete formulas.
+  EXPECT_NEAR(m.formula15_throughput_mbps(), 36.4, 0.1);
+}
+
+TEST(Formula16, MatchesPaperScale) {
+  BroadcastModel m(ModelParams::paper(), {});
+  // Paper Table 2: 13.38 MB/s for two-sided scatter-allgather.
+  EXPECT_NEAR(m.formula16_throughput_mbps(), 13.1, 0.2);
+}
+
+TEST(Formula13, CriticalPathStructure) {
+  BroadcastModel m(ModelParams::paper(), {});
+  const ModelParams p = ModelParams::paper();
+  // k=47: exactly one tree level.
+  EXPECT_EQ(m.ocbcast_critical_path(10, 47),
+            put_from_mem_completion(p, 10, 1, 1) + get_to_mpb_completion(p, 10, 1) +
+                get_to_mem_completion(p, 10, 1, 1));
+  // k=7 has two levels; the extra level costs one more MPB-to-MPB get.
+  EXPECT_EQ(m.ocbcast_critical_path(10, 7) - m.ocbcast_critical_path(10, 47),
+            get_to_mpb_completion(p, 10, 1));
+}
+
+TEST(Formula14, LinearInMessageSize) {
+  BroadcastModel m(ModelParams::paper(), {});
+  const sim::Duration one = m.binomial_critical_path(1);
+  EXPECT_EQ(m.binomial_critical_path(10), 10 * one);
+  // Per line: 6*(136+136+471) + 218 = 4676 ns.
+  EXPECT_EQ(one, ns(4'676));
+}
+
+// --- reconstructed complete model ------------------------------------------
+
+TEST(CompleteModel, LatencyMonotoneInMessageSize) {
+  BroadcastModel m(ModelParams::paper(), {});
+  sim::Duration prev = 0;
+  for (std::size_t lines : {1u, 8u, 32u, 96u, 97u, 192u, 500u}) {
+    const sim::Duration lat = m.ocbcast_latency(lines, 7);
+    EXPECT_GT(lat, prev) << lines;
+    prev = lat;
+  }
+}
+
+TEST(CompleteModel, K7BeatsBinomialAtAllSmallSizes) {
+  // The paper's headline: OC-Bcast dominates the binomial tree (Fig. 6).
+  BroadcastModel m(ModelParams::paper(), {});
+  for (std::size_t lines = 1; lines <= 192; lines += 13) {
+    EXPECT_LT(m.ocbcast_latency(lines, 7), m.binomial_latency(lines))
+        << "at " << lines << " lines";
+  }
+}
+
+TEST(CompleteModel, GapGrowsWithMessageSize) {
+  BroadcastModel m(ModelParams::paper(), {});
+  const double r1 = static_cast<double>(m.binomial_latency(1)) /
+                    static_cast<double>(m.ocbcast_latency(1, 7));
+  const double r192 = static_cast<double>(m.binomial_latency(192)) /
+                      static_cast<double>(m.ocbcast_latency(192, 7));
+  EXPECT_GT(r192, r1) << "the advantage increases with size (Fig. 6a)";
+}
+
+TEST(CompleteModel, K47SlowestForTinyMessages) {
+  // Fig. 6b: for very small messages k=47 loses to k=7 because the root
+  // polls 47 doneFlags.
+  BroadcastModel m(ModelParams::paper(), {});
+  EXPECT_GT(m.ocbcast_latency(1, 47), m.ocbcast_latency(1, 7));
+}
+
+TEST(CompleteModel, LargerKReducesLatencyForMediumMessages) {
+  // Fig. 8a observation: k=7 is ~25% better than k=2 at 96..192 lines.
+  BroadcastModel m(ModelParams::paper(), {});
+  const double k2 = static_cast<double>(m.ocbcast_latency(144, 2));
+  const double k7 = static_cast<double>(m.ocbcast_latency(144, 7));
+  EXPECT_LT(k7, k2);
+  EXPECT_GT((k2 - k7) / k2, 0.10) << "meaningfully better, not marginal";
+}
+
+TEST(CompleteModel, ThroughputNearFormula15) {
+  BroadcastModel m(ModelParams::paper(), {});
+  for (int k : {2, 7, 47}) {
+    const double t = m.ocbcast_throughput_mbps(k);
+    EXPECT_GT(t, 30.0) << "k=" << k;
+    EXPECT_LT(t, m.formula15_throughput_mbps() * 1.02) << "k=" << k;
+  }
+}
+
+TEST(CompleteModel, ThroughputTriplesScatterAllgather) {
+  BroadcastModel m(ModelParams::paper(), {});
+  const double ratio = m.ocbcast_throughput_mbps(7) / m.formula16_throughput_mbps();
+  EXPECT_GT(ratio, 2.5) << "Table 2: almost 3x";
+  EXPECT_LT(ratio, 3.5);
+}
+
+TEST(CompleteModel, DoubleBufferingImprovesMediumMessageLatency) {
+  // §4.2 at fixed MPB budget: one 192-line buffer vs two 96-line buffers.
+  BroadcastModelOptions single;
+  single.double_buffering = false;
+  single.chunk_lines = 192;
+  BroadcastModel with(ModelParams::paper(), {});
+  BroadcastModel without(ModelParams::paper(), single);
+  for (std::size_t lines : {150u, 192u, 384u}) {
+    EXPECT_LT(with.ocbcast_latency(lines, 7), without.ocbcast_latency(lines, 7))
+        << lines;
+  }
+}
+
+TEST(CompleteModel, PeakThroughputInsensitiveToBuffering) {
+  // Formula 15 contains no buffering term; the reconstructed model agrees:
+  // the steady-state bottleneck is each core's serial per-line copy cost.
+  BroadcastModelOptions single;
+  single.double_buffering = false;
+  single.chunk_lines = 192;
+  BroadcastModel with(ModelParams::paper(), {});
+  BroadcastModel without(ModelParams::paper(), single);
+  EXPECT_NEAR(with.ocbcast_throughput_mbps(7) / without.ocbcast_throughput_mbps(7),
+              1.0, 0.10);
+}
+
+TEST(CompleteModel, LeafDirectHelpsLatency) {
+  BroadcastModelOptions direct;
+  direct.leaf_direct_to_memory = true;
+  BroadcastModel base(ModelParams::paper(), {});
+  BroadcastModel opt(ModelParams::paper(), direct);
+  EXPECT_LT(opt.ocbcast_latency(96, 7), base.ocbcast_latency(96, 7));
+}
+
+TEST(CompleteModel, SlopeChangesAtChunkBoundary) {
+  // Fig. 6a: the latency slope flattens past M_oc because of pipelining.
+  BroadcastModel m(ModelParams::paper(), {});
+  const auto lat = [&](std::size_t l) {
+    return static_cast<double>(m.ocbcast_latency(l, 7));
+  };
+  const double slope_below = (lat(90) - lat(60)) / 30.0;
+  const double slope_above = (lat(180) - lat(150)) / 30.0;
+  EXPECT_LT(slope_above, slope_below);
+}
+
+TEST(CompleteModel, NodeReturnsCoverAllCores) {
+  BroadcastModel m(ModelParams::paper(), {});
+  const ModeledBroadcast mb = m.ocbcast(96, 7);
+  EXPECT_EQ(mb.node_return.size(), 48u);
+  for (sim::Duration d : mb.node_return) {
+    EXPECT_GT(d, 0u);
+    EXPECT_LE(d, mb.latency);
+  }
+}
+
+TEST(CompleteModel, BinomialCacheAssumptionMatters) {
+  // With a cold cache the binomial tree pays full memory reads per resend.
+  BroadcastModelOptions cold;
+  cold.cache_capacity_lines = 0;
+  BroadcastModel warm(ModelParams::paper(), {});
+  BroadcastModel coldm(ModelParams::paper(), cold);
+  EXPECT_GT(coldm.binomial_latency(96), warm.binomial_latency(96));
+}
+
+TEST(CompleteModel, RejectsDegenerateInputs) {
+  BroadcastModel m(ModelParams::paper(), {});
+  EXPECT_THROW(m.ocbcast_latency(0, 7), PreconditionError);
+  BroadcastModelOptions one;
+  one.parties = 1;
+  EXPECT_THROW(BroadcastModel(ModelParams::paper(), one), PreconditionError);
+}
+
+TEST(ReduceModel, ThroughputOptimumIsSmallFanout) {
+  // The k*m ingest term makes throughput peak at k = 2 on SCC parameters
+  // (k = 1 wins the per-chunk ingest but pays an O(P)-deep pipeline whose
+  // end-to-end latency term never amortizes fully at finite sizes).
+  ReduceModel m(ModelParams::paper(), {});
+  const int best = m.best_throughput_fanout();
+  EXPECT_GE(best, 1);
+  EXPECT_LE(best, 3) << "reduction favours small fan-outs";
+  EXPECT_GT(m.throughput_mbps(2), m.throughput_mbps(7));
+  EXPECT_GT(m.throughput_mbps(7), m.throughput_mbps(47));
+}
+
+TEST(ReduceModel, ChainHasWorstSmallMessageLatency) {
+  ReduceModel m(ModelParams::paper(), {});
+  EXPECT_GT(m.latency(16, 1), m.latency(16, 2));
+  EXPECT_GT(m.latency(16, 1), m.latency(16, 7));
+}
+
+TEST(ReduceModel, LatencyMonotoneInCount) {
+  ReduceModel m(ModelParams::paper(), {});
+  sim::Duration prev = 0;
+  for (std::size_t count : {1u, 64u, 384u, 385u, 4096u}) {
+    const sim::Duration lat = m.latency(count, 2);
+    EXPECT_GT(lat, prev) << count;
+    prev = lat;
+  }
+}
+
+TEST(ReduceModel, MirrorsTheSimulatedFanoutOrdering) {
+  // Qualitative agreement with bench_extension_collectives' measured sweep
+  // (throughput: k=2 > k=7 > k=16 > k=47; small-message latency: k=2
+  // beats both extremes).
+  ReduceModel m(ModelParams::paper(), {});
+  EXPECT_GT(m.throughput_mbps(2), m.throughput_mbps(16));
+  EXPECT_GT(m.throughput_mbps(16), m.throughput_mbps(47));
+  EXPECT_LT(m.latency(16, 2), m.latency(16, 47));
+}
+
+TEST(ReduceModel, RejectsDegenerateInputs) {
+  ReduceModel m(ModelParams::paper(), {});
+  EXPECT_THROW(m.latency(0, 2), PreconditionError);
+  EXPECT_THROW(m.latency(16, 0), PreconditionError);
+  EXPECT_THROW(m.latency(16, 48), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ocb::model

@@ -1,0 +1,189 @@
+// Tests for the MPI-flavoured facade: matched-call collectives over the
+// coordinated MPB layout.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/require.h"
+#include "mpi/communicator.h"
+
+namespace ocb::mpi {
+namespace {
+
+void seed(scc::SccChip& chip, CoreId core, std::size_t offset, std::size_t bytes,
+          std::uint64_t salt) {
+  auto w = chip.memory(core).host_bytes(offset, bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    w[i] = static_cast<std::byte>((i + salt * 7) & 0xff);
+  }
+}
+
+TEST(Communicator, SendRecvRoundTrip) {
+  scc::SccChip chip;
+  Communicator comm(chip);
+  seed(chip, 3, 0, 5000, 1);
+  chip.spawn(3, [&](scc::Core& me) -> sim::Task<void> {
+    co_await comm.send(me, 9, 0, 5000);
+  });
+  chip.spawn(9, [&](scc::Core& me) -> sim::Task<void> {
+    co_await comm.recv(me, 3, 128, 5000);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  const auto want = chip.memory(3).host_bytes(0, 5000);
+  const auto got = chip.memory(9).host_bytes(128, 5000);
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), got.begin()));
+}
+
+TEST(Communicator, BcastDeliversEverywhere) {
+  scc::SccChip chip;
+  Communicator comm(chip);
+  const std::size_t bytes = 700 * 32;
+  seed(chip, 11, 0, bytes, 2);
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    chip.spawn(c, [&, bytes](scc::Core& me) -> sim::Task<void> {
+      co_await comm.bcast(me, 11, 0, bytes);
+    });
+  }
+  ASSERT_TRUE(chip.run().completed());
+  const auto want = chip.memory(11).host_bytes(0, bytes);
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    const auto got = chip.memory(c).host_bytes(0, bytes);
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), got.begin())) << c;
+  }
+}
+
+TEST(Communicator, BarrierSynchronizes) {
+  scc::SccChip chip;
+  Communicator comm(chip);
+  sim::Time exits[kNumCores] = {};
+  constexpr sim::Duration kLate = 80 * sim::kMicrosecond;
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    chip.spawn(c, [&, c](scc::Core& me) -> sim::Task<void> {
+      if (c == 40) co_await me.busy(kLate);
+      co_await comm.barrier(me);
+      exits[c] = me.now();
+    });
+  }
+  ASSERT_TRUE(chip.run().completed());
+  for (sim::Time t : exits) EXPECT_GE(t, kLate);
+}
+
+TEST(Communicator, GatherCollectsInRankOrder) {
+  scc::SccChip chip;
+  Communicator comm(chip);
+  constexpr std::size_t kPer = 256;
+  for (CoreId c = 0; c < kNumCores; ++c) seed(chip, c, 0, kPer, 100 + c);
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    chip.spawn(c, [&](scc::Core& me) -> sim::Task<void> {
+      co_await comm.gather(me, /*root=*/5, 0, 65536, kPer);
+    });
+  }
+  ASSERT_TRUE(chip.run().completed());
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    const auto want = chip.memory(c).host_bytes(0, kPer);
+    const auto got = chip.memory(5).host_bytes(65536 + c * kPer, kPer);
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), got.begin())) << c;
+  }
+}
+
+TEST(Communicator, ReduceSumsDoubles) {
+  scc::SccChip chip;
+  Communicator comm(chip);
+  constexpr std::size_t kCount = 64;
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    auto w = chip.memory(c).host_bytes(0, kCount * sizeof(double));
+    for (std::size_t i = 0; i < kCount; ++i) {
+      const double v = static_cast<double>(c) + static_cast<double>(i) * 0.5;
+      std::memcpy(w.data() + i * sizeof(double), &v, sizeof v);
+    }
+  }
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    chip.spawn(c, [&](scc::Core& me) -> sim::Task<void> {
+      co_await comm.reduce_sum(me, /*root=*/0, 0, kCount, /*scratch=*/1 << 20);
+    });
+  }
+  ASSERT_TRUE(chip.run().completed());
+  const auto out = chip.memory(0).host_bytes(0, kCount * sizeof(double));
+  for (std::size_t i = 0; i < kCount; ++i) {
+    double v;
+    std::memcpy(&v, out.data() + i * sizeof(double), sizeof v);
+    // sum over c of (c + 0.5 i) = 47*48/2 + 48 * 0.5 i
+    EXPECT_DOUBLE_EQ(v, 1128.0 + 24.0 * static_cast<double>(i)) << i;
+  }
+}
+
+TEST(Communicator, CollectivesComposeInOneProgram) {
+  // bcast -> compute -> reduce -> barrier, twice: the layouts must coexist.
+  scc::SccChip chip;
+  Communicator comm(chip);
+  constexpr std::size_t kCount = 16;
+  for (int round = 0; round < 2; ++round) {
+    // (seeding happens before run; both rounds share buffers)
+  }
+  auto param = chip.memory(0).host_bytes(0, kCount * sizeof(double));
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const double v = 1.0 + static_cast<double>(i);
+    std::memcpy(param.data() + i * sizeof(double), &v, sizeof v);
+  }
+  int finished = 0;
+  for (CoreId c = 0; c < kNumCores; ++c) {
+    chip.spawn(c, [&](scc::Core& me) -> sim::Task<void> {
+      for (int round = 0; round < 2; ++round) {
+        co_await comm.bcast(me, 0, 0, kCount * sizeof(double));
+        // Each rank contributes its received values (so the reduce result
+        // is 48x the broadcast parameters).
+        auto mine = me.chip().memory(me.id()).host_bytes(4096, kCount * sizeof(double));
+        const auto in = me.chip().memory(me.id()).host_bytes(0, kCount * sizeof(double));
+        std::memcpy(mine.data(), in.data(), kCount * sizeof(double));
+        co_await comm.reduce_sum(me, 0, 4096, kCount, 1 << 20);
+        co_await comm.barrier(me);
+      }
+      ++finished;
+    });
+  }
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_EQ(finished, kNumCores);
+  const auto out = chip.memory(0).host_bytes(4096, kCount * sizeof(double));
+  for (std::size_t i = 0; i < kCount; ++i) {
+    double v;
+    std::memcpy(&v, out.data() + i * sizeof(double), sizeof v);
+    EXPECT_DOUBLE_EQ(v, 48.0 * (1.0 + static_cast<double>(i))) << i;
+  }
+}
+
+TEST(Communicator, SubsetCommunicator) {
+  scc::SccChip chip;
+  Communicator comm(chip, /*size=*/6);
+  EXPECT_EQ(comm.size(), 6);
+  seed(chip, 0, 0, 1000, 9);
+  for (CoreId c = 0; c < 6; ++c) {
+    chip.spawn(c, [&](scc::Core& me) -> sim::Task<void> {
+      co_await comm.bcast(me, 0, 0, 1000);
+      co_await comm.barrier(me);
+    });
+  }
+  ASSERT_TRUE(chip.run().completed());
+  const auto want = chip.memory(0).host_bytes(0, 1000);
+  const auto got = chip.memory(5).host_bytes(0, 1000);
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), got.begin()));
+}
+
+TEST(Communicator, ArgumentValidation) {
+  scc::SccChip chip;
+  EXPECT_THROW(Communicator(chip, 1), PreconditionError);
+  EXPECT_THROW(Communicator(chip, 49), PreconditionError);
+  Communicator comm(chip, 4);
+  bool threw = false;
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    try {
+      co_await comm.send(me, 7, 0, 32);
+    } catch (const PreconditionError&) {
+      threw = true;
+    }
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace ocb::mpi

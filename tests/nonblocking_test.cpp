@@ -1,0 +1,204 @@
+// Tests for the iRCCE-style non-blocking send/recv layer.
+#include <gtest/gtest.h>
+
+#include "common/require.h"
+#include "rma/nonblocking.h"
+
+namespace ocb::rma {
+namespace {
+
+void seed(scc::SccChip& chip, CoreId core, std::size_t offset, std::size_t bytes,
+          std::uint64_t salt) {
+  auto w = chip.memory(core).host_bytes(offset, bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    w[i] = static_cast<std::byte>((i * 17 + salt) & 0xff);
+  }
+}
+
+bool check(scc::SccChip& chip, CoreId core, std::size_t offset, std::size_t bytes,
+           std::uint64_t salt) {
+  const auto r = chip.memory(core).host_bytes(offset, bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    if (r[i] != static_cast<std::byte>((i * 17 + salt) & 0xff)) return false;
+  }
+  return true;
+}
+
+TEST(AsyncTwoSided, WaitBasedRoundTrip) {
+  scc::SccChip chip;
+  AsyncTwoSided async(chip);
+  const std::size_t bytes = 3 * 251 * 32 + 40;  // several chunks + tail
+  seed(chip, 2, 0, bytes, 5);
+  chip.spawn(2, [&](scc::Core& me) -> sim::Task<void> {
+    auto req = async.isend(me, 9, 0, bytes);
+    co_await async.wait(me, req);
+    EXPECT_TRUE(async.done(req));
+  });
+  chip.spawn(9, [&](scc::Core& me) -> sim::Task<void> {
+    auto req = async.irecv(me, 2, 4096, bytes);
+    co_await async.wait(me, req);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 9, 4096, bytes, 5));
+}
+
+TEST(AsyncTwoSided, TestDrivenProgressWithCompute) {
+  scc::SccChip chip;
+  AsyncTwoSided async(chip);
+  const std::size_t bytes = 2 * 251 * 32;
+  seed(chip, 0, 0, bytes, 7);
+  int sender_probes = 0;
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    auto req = async.isend(me, 1, 0, bytes);
+    for (;;) {
+      const bool sent = co_await async.test(me, req);
+      if (sent) break;
+      ++sender_probes;
+      co_await me.busy(5 * sim::kMicrosecond);  // overlapped compute
+    }
+  });
+  chip.spawn(1, [&](scc::Core& me) -> sim::Task<void> {
+    co_await me.busy(100 * sim::kMicrosecond);  // receiver shows up late
+    auto req = async.irecv(me, 0, 0, bytes);
+    co_await async.wait(me, req);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 1, 0, bytes, 7));
+  EXPECT_GT(sender_probes, 5) << "the sender really did interleave compute";
+}
+
+TEST(AsyncTwoSided, OverlapHidesWaitingTime) {
+  // Blocking: wait-for-receiver THEN compute (serial). Non-blocking: the
+  // compute runs inside the receiver's delay window.
+  constexpr sim::Duration kReceiverDelay = 200 * sim::kMicrosecond;
+  constexpr sim::Duration kComputeSlice = 4 * sim::kMicrosecond;
+  constexpr int kSlices = 40;  // 160 us of compute
+  const std::size_t bytes = 100 * 32;
+
+  auto run_case = [&](bool overlapped) {
+    scc::SccChip chip;
+    AsyncTwoSided async(chip);
+    seed(chip, 0, 0, bytes, 1);
+    sim::Time sender_done = 0;
+    chip.spawn(0, [&, overlapped](scc::Core& me) -> sim::Task<void> {
+      auto req = async.isend(me, 1, 0, bytes);
+      if (overlapped) {
+        int slices = 0;
+        bool done = false;
+        while (slices < kSlices || !done) {
+          if (!done) done = co_await async.test(me, req);
+          if (slices < kSlices) {
+            co_await me.busy(kComputeSlice);
+            ++slices;
+          }
+        }
+      } else {
+        co_await async.wait(me, req);
+        for (int i = 0; i < kSlices; ++i) co_await me.busy(kComputeSlice);
+      }
+      sender_done = me.now();
+    });
+    chip.spawn(1, [&](scc::Core& me) -> sim::Task<void> {
+      co_await me.busy(kReceiverDelay);
+      auto req = async.irecv(me, 0, 0, bytes);
+      co_await async.wait(me, req);
+    });
+    EXPECT_TRUE(chip.run().completed());
+    EXPECT_TRUE(check(chip, 1, 0, bytes, 1));
+    return sender_done;
+  };
+
+  const sim::Time serial = run_case(false);
+  const sim::Time overlapped = run_case(true);
+  EXPECT_LT(overlapped + 100 * sim::kMicrosecond, serial)
+      << "overlap must hide most of the receiver's 200 us delay";
+}
+
+TEST(AsyncTwoSided, ManyPairsConcurrently) {
+  scc::SccChip chip;
+  AsyncTwoSided async(chip);
+  constexpr std::size_t kBytes = 512;
+  for (CoreId s = 0; s < 24; ++s) seed(chip, s, 0, kBytes, 40 + s);
+  for (CoreId s = 0; s < 24; ++s) {
+    const CoreId d = s + 24;
+    chip.spawn(s, [&, d](scc::Core& me) -> sim::Task<void> {
+      auto req = async.isend(me, d, 0, kBytes);
+      co_await async.wait(me, req);
+    });
+    chip.spawn(d, [&, s](scc::Core& me) -> sim::Task<void> {
+      auto req = async.irecv(me, s, 0, kBytes);
+      co_await async.wait(me, req);
+    });
+  }
+  ASSERT_TRUE(chip.run().completed());
+  for (CoreId s = 0; s < 24; ++s) {
+    EXPECT_TRUE(check(chip, s + 24, 0, kBytes, 40 + s)) << s;
+  }
+}
+
+TEST(AsyncTwoSided, SequentialRequestsOnOnePair) {
+  scc::SccChip chip;
+  AsyncTwoSided async(chip);
+  seed(chip, 0, 0, 1000, 1);
+  seed(chip, 0, 2048, 1000, 2);
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    auto a = async.isend(me, 1, 0, 1000);
+    co_await async.wait(me, a);
+    auto b = async.isend(me, 1, 2048, 1000);
+    co_await async.wait(me, b);
+  });
+  chip.spawn(1, [&](scc::Core& me) -> sim::Task<void> {
+    auto a = async.irecv(me, 0, 0, 1000);
+    co_await async.wait(me, a);
+    auto b = async.irecv(me, 0, 2048, 1000);
+    co_await async.wait(me, b);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 1, 0, 1000, 1));
+  EXPECT_TRUE(check(chip, 1, 2048, 1000, 2));
+}
+
+TEST(AsyncTwoSided, ArgumentValidation) {
+  scc::SccChip chip;
+  AsyncTwoSided async(chip);
+  bool self_send = false, dup = false, foreign = false;
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    try {
+      async.isend(me, 0, 0, 32);
+    } catch (const PreconditionError&) {
+      self_send = true;
+    }
+    auto first = async.isend(me, 1, 0, 32);
+    try {
+      async.isend(me, 1, 64, 32);  // second outstanding to the same pair
+    } catch (const PreconditionError&) {
+      dup = true;
+    }
+    (void)first;
+    co_return;
+  });
+  chip.spawn(2, [&](scc::Core& me) -> sim::Task<void> {
+    auto req = async.isend(me, 3, 0, 32);
+    co_await me.busy(1);
+    try {
+      // Tested by the wrong core.
+      co_await async.test(me.chip().core(4), req);
+    } catch (const PreconditionError&) {
+      foreign = true;
+    }
+  });
+  chip.run();  // stalls are fine here (unmatched sends)
+  EXPECT_TRUE(self_send);
+  EXPECT_TRUE(dup);
+  EXPECT_TRUE(foreign);
+}
+
+TEST(AsyncTwoSided, EmptyHandleRejected) {
+  scc::SccChip chip;
+  AsyncTwoSided async(chip);
+  AsyncTwoSided::Request empty;
+  EXPECT_THROW(async.done(empty), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ocb::rma

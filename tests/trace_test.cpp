@@ -1,0 +1,108 @@
+// Tests for the execution-trace facility.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rma/rma.h"
+#include "scc/chip.h"
+
+namespace ocb::scc {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  SccChip chip;
+  EXPECT_FALSE(chip.tracing());
+}
+
+TEST(Trace, OpNamesAreDistinct) {
+  EXPECT_STREQ(trace_op_name(TraceOp::kBusy), "busy");
+  EXPECT_STREQ(trace_op_name(TraceOp::kMpbRead), "mpb-read");
+  EXPECT_STREQ(trace_op_name(TraceOp::kMpbWrite), "mpb-write");
+  EXPECT_STREQ(trace_op_name(TraceOp::kMemRead), "mem-read");
+  EXPECT_STREQ(trace_op_name(TraceOp::kMemWrite), "mem-write");
+  EXPECT_STREQ(trace_op_name(TraceOp::kCacheHit), "cache-hit");
+}
+
+TEST(Trace, CapturesPutTransactions) {
+  SccChip chip;
+  std::vector<TraceEvent> events;
+  chip.set_trace_sink([&](const TraceEvent& e) { events.push_back(e); });
+  chip.memory(0).host_bytes(0, 3 * kCacheLineBytes);
+  chip.spawn(0, [](Core& me) -> sim::Task<void> {
+    co_await rma::put_mem_to_mpb(me, rma::MpbAddr{5, 10}, 0, 3);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  // o_put busy + 3 x (mem read + mpb write).
+  int busy = 0, mem_reads = 0, mpb_writes = 0;
+  sim::Time last_end = 0;
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.core, 0);
+    EXPECT_LE(e.start, e.end);
+    EXPECT_GE(e.end, last_end) << "events arrive in completion order";
+    last_end = e.end;
+    switch (e.op) {
+      case TraceOp::kBusy:
+        ++busy;
+        break;
+      case TraceOp::kMemRead:
+        ++mem_reads;
+        break;
+      case TraceOp::kMpbWrite:
+        ++mpb_writes;
+        EXPECT_EQ(e.target, 5);
+        EXPECT_GE(e.index, 10u);
+        EXPECT_LT(e.index, 13u);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected op " << trace_op_name(e.op);
+    }
+  }
+  EXPECT_EQ(busy, 1);
+  EXPECT_EQ(mem_reads, 3);
+  EXPECT_EQ(mpb_writes, 3);
+}
+
+TEST(Trace, CacheHitReportedDistinctly) {
+  SccChip chip;
+  std::vector<TraceOp> ops;
+  chip.set_trace_sink([&](const TraceEvent& e) { ops.push_back(e.op); });
+  chip.spawn(0, [](Core& me) -> sim::Task<void> {
+    CacheLine cl;
+    co_await me.mem_read_line(0, cl);  // miss
+    co_await me.mem_read_line(0, cl);  // hit
+  });
+  ASSERT_TRUE(chip.run().completed());
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], TraceOp::kMemRead);
+  EXPECT_EQ(ops[1], TraceOp::kCacheHit);
+}
+
+TEST(Trace, IntervalsMatchTransactionCosts) {
+  SccChip chip;
+  std::vector<TraceEvent> events;
+  chip.set_trace_sink([&](const TraceEvent& e) { events.push_back(e); });
+  chip.spawn(0, [](Core& me) -> sim::Task<void> {
+    CacheLine cl;
+    co_await me.mpb_read_line(3, 0, cl);  // d = 2 (tile 1)
+  });
+  ASSERT_TRUE(chip.run().completed());
+  ASSERT_EQ(events.size(), 1u);
+  const SccConfig cfg;
+  EXPECT_EQ(events[0].end - events[0].start, cfg.o_mpb() + 4 * cfg.l_hop);
+  EXPECT_EQ(events[0].op, TraceOp::kMpbRead);
+  EXPECT_EQ(events[0].target, 3);
+}
+
+TEST(Trace, SinkCanBeCleared) {
+  SccChip chip;
+  int count = 0;
+  chip.set_trace_sink([&](const TraceEvent&) { ++count; });
+  chip.set_trace_sink({});
+  EXPECT_FALSE(chip.tracing());
+  chip.spawn(0, [](Core& me) -> sim::Task<void> { co_await me.busy(100); });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace ocb::scc

@@ -1,0 +1,172 @@
+// Unit and property tests for the OC-Bcast tree structure (paper Fig. 5).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/require.h"
+#include "core/tree.h"
+
+namespace ocb::core {
+namespace {
+
+TEST(KaryTree, PaperFigure5PropagationTree) {
+  // s = 0, P = 12, k = 7 (the exact example of Figure 5).
+  KaryTree tree(12, 7, 0);
+  EXPECT_EQ(tree.children_of(0), (std::vector<CoreId>{1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(tree.children_of(1), (std::vector<CoreId>{8, 9, 10, 11}));
+  for (CoreId c = 2; c <= 11; ++c) EXPECT_TRUE(tree.children_of(c).empty());
+  EXPECT_EQ(tree.parent_of(0), -1);
+  EXPECT_EQ(tree.parent_of(7), 0);
+  EXPECT_EQ(tree.parent_of(8), 1);
+  EXPECT_EQ(tree.max_depth(), 2);
+}
+
+TEST(KaryTree, PaperFigure5NotificationTrees) {
+  KaryTree tree(12, 7, 0);
+  // Root group: C0 -> C1,C2; C1 -> C3,C4; C2 -> C5,C6; C3 -> C7.
+  EXPECT_EQ(tree.notify_own_targets(0), (std::vector<CoreId>{1, 2}));
+  EXPECT_EQ(tree.notify_forward_targets(1), (std::vector<CoreId>{3, 4}));
+  EXPECT_EQ(tree.notify_forward_targets(2), (std::vector<CoreId>{5, 6}));
+  EXPECT_EQ(tree.notify_forward_targets(3), (std::vector<CoreId>{7}));
+  EXPECT_TRUE(tree.notify_forward_targets(4).empty());
+  EXPECT_TRUE(tree.notify_forward_targets(7).empty());
+  // C1's own group: C1 -> C8,C9; C8 -> C10,C11.
+  EXPECT_EQ(tree.notify_own_targets(1), (std::vector<CoreId>{8, 9}));
+  EXPECT_EQ(tree.notify_forward_targets(8), (std::vector<CoreId>{10, 11}));
+  EXPECT_TRUE(tree.notify_forward_targets(9).empty());
+  // Notification depths within the root group.
+  EXPECT_EQ(tree.notify_depth(1), 1);
+  EXPECT_EQ(tree.notify_depth(2), 1);
+  EXPECT_EQ(tree.notify_depth(3), 2);
+  EXPECT_EQ(tree.notify_depth(6), 2);
+  EXPECT_EQ(tree.notify_depth(7), 3);
+}
+
+TEST(KaryTree, RotatedRootMapsIds) {
+  KaryTree tree(12, 7, 5);
+  EXPECT_EQ(tree.index_of(5), 0);
+  EXPECT_EQ(tree.core_at(0), 5);
+  EXPECT_EQ(tree.children_of(5), (std::vector<CoreId>{6, 7, 8, 9, 10, 11, 0}));
+  EXPECT_EQ(tree.parent_of(4), 6);  // index 11 -> parent index 1 -> core 6
+}
+
+TEST(KaryTree, RejectsBadArguments) {
+  EXPECT_THROW(KaryTree(0, 1, 0), PreconditionError);
+  EXPECT_THROW(KaryTree(4, 0, 0), PreconditionError);
+  EXPECT_THROW(KaryTree(4, 2, 4), PreconditionError);
+  KaryTree t(4, 2, 0);
+  EXPECT_THROW(t.children_of(4), PreconditionError);
+  EXPECT_THROW(t.core_at(4), PreconditionError);
+}
+
+// Property suite over (P, k, root) combinations.
+using TreeParams = std::tuple<int, int, int>;  // P, k, root
+class KaryTreeProperty : public ::testing::TestWithParam<TreeParams> {};
+
+TEST_P(KaryTreeProperty, ParentChildConsistency) {
+  const auto [p, k, root] = GetParam();
+  KaryTree tree(p, k, root);
+  std::map<CoreId, int> seen_as_child;
+  for (CoreId c = 0; c < p; ++c) {
+    for (CoreId child : tree.children_of(c)) {
+      EXPECT_EQ(tree.parent_of(child), c);
+      ++seen_as_child[child];
+    }
+    EXPECT_EQ(static_cast<int>(tree.children_of(c).size()), tree.child_count(c));
+    EXPECT_LE(tree.child_count(c), k);
+  }
+  // Every non-root core is someone's child exactly once.
+  EXPECT_EQ(static_cast<int>(seen_as_child.size()), p - 1);
+  for (const auto& [child, n] : seen_as_child) {
+    EXPECT_EQ(n, 1);
+    EXPECT_NE(child, root);
+  }
+}
+
+TEST_P(KaryTreeProperty, DepthIsParentDepthPlusOne) {
+  const auto [p, k, root] = GetParam();
+  KaryTree tree(p, k, root);
+  EXPECT_EQ(tree.depth_of(root), 0);
+  int max_seen = 0;
+  for (CoreId c = 0; c < p; ++c) {
+    if (c != root) {
+      EXPECT_EQ(tree.depth_of(c), tree.depth_of(tree.parent_of(c)) + 1);
+    }
+    max_seen = std::max(max_seen, tree.depth_of(c));
+  }
+  EXPECT_EQ(tree.max_depth(), max_seen);
+}
+
+TEST_P(KaryTreeProperty, NotificationSpansEveryGroupExactlyOnce) {
+  // Inside every {parent, children} group, the binary notification relation
+  // must reach each child exactly once, starting from the parent's own
+  // targets and closed under forwarding.
+  const auto [p, k, root] = GetParam();
+  KaryTree tree(p, k, root);
+  for (CoreId parent = 0; parent < p; ++parent) {
+    const std::vector<CoreId> children = tree.children_of(parent);
+    if (children.empty()) continue;
+    std::set<CoreId> group(children.begin(), children.end());
+    std::set<CoreId> notified;
+    std::vector<CoreId> frontier = tree.notify_own_targets(parent);
+    while (!frontier.empty()) {
+      const CoreId c = frontier.back();
+      frontier.pop_back();
+      EXPECT_TRUE(group.count(c)) << "notification escaped the group";
+      EXPECT_FALSE(notified.count(c)) << "core notified twice";
+      notified.insert(c);
+      for (CoreId next : tree.notify_forward_targets(c)) frontier.push_back(next);
+    }
+    EXPECT_EQ(notified, group) << "some child never notified (parent " << parent
+                               << ")";
+  }
+}
+
+TEST_P(KaryTreeProperty, NotifyDepthIsLogarithmic) {
+  const auto [p, k, root] = GetParam();
+  KaryTree tree(p, k, root);
+  // ceil(log2(k+1)) bounds the binary notification tree depth of any group.
+  int bound = 0;
+  while ((1 << bound) < k + 1) ++bound;
+  for (CoreId c = 0; c < p; ++c) {
+    if (c == root) {
+      EXPECT_EQ(tree.notify_depth(c), 0);
+    } else {
+      EXPECT_GE(tree.notify_depth(c), 1);
+      EXPECT_LE(tree.notify_depth(c), bound);
+    }
+  }
+}
+
+TEST_P(KaryTreeProperty, ChildPositionsAreCompact) {
+  const auto [p, k, root] = GetParam();
+  KaryTree tree(p, k, root);
+  for (CoreId parent = 0; parent < p; ++parent) {
+    const auto children = tree.children_of(parent);
+    for (std::size_t j = 0; j < children.size(); ++j) {
+      EXPECT_EQ(tree.child_position(children[j]), static_cast<int>(j) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KaryTreeProperty,
+    ::testing::Values(TreeParams{2, 1, 0}, TreeParams{2, 1, 1},
+                      TreeParams{12, 7, 0}, TreeParams{12, 7, 5},
+                      TreeParams{48, 2, 0}, TreeParams{48, 2, 13},
+                      TreeParams{48, 7, 0}, TreeParams{48, 7, 47},
+                      TreeParams{48, 47, 0}, TreeParams{48, 47, 31},
+                      TreeParams{48, 5, 7}, TreeParams{37, 3, 11},
+                      TreeParams{48, 24, 0}, TreeParams{5, 4, 2}));
+
+TEST(KaryTree, DepthMatchesClosedForm48) {
+  // Depths the paper's analysis relies on.
+  EXPECT_EQ(KaryTree(48, 47, 0).max_depth(), 1);
+  EXPECT_EQ(KaryTree(48, 7, 0).max_depth(), 2);
+  EXPECT_EQ(KaryTree(48, 2, 0).max_depth(), 5);
+}
+
+}  // namespace
+}  // namespace ocb::core

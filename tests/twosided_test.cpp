@@ -1,0 +1,207 @@
+// Unit tests for the RCCE-style two-sided layer: matched send/recv
+// integrity, chunking, serialization of concurrent senders, layout checks.
+#include <gtest/gtest.h>
+
+#include "rma/twosided.h"
+
+namespace ocb::rma {
+namespace {
+
+void seed(scc::SccChip& chip, CoreId core, std::size_t offset, std::size_t bytes,
+          std::uint8_t tag) {
+  auto w = chip.memory(core).host_bytes(offset, bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    w[i] = static_cast<std::byte>(tag + i * 13 + (i >> 8));
+  }
+}
+
+bool check(scc::SccChip& chip, CoreId core, std::size_t offset, std::size_t bytes,
+           std::uint8_t tag) {
+  const auto r = chip.memory(core).host_bytes(offset, bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    if (r[i] != static_cast<std::byte>(tag + i * 13 + (i >> 8))) return false;
+  }
+  return true;
+}
+
+class TwoSidedSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TwoSidedSizes, PairRoundTrip) {
+  const std::size_t bytes = GetParam();
+  scc::SccChip chip;
+  TwoSided ts(chip);
+  seed(chip, 5, 0, bytes, 0x21);
+  chip.spawn(5, [&, bytes](scc::Core& me) -> sim::Task<void> {
+    co_await ts.send(me, 17, 0, bytes);
+  });
+  chip.spawn(17, [&, bytes](scc::Core& me) -> sim::Task<void> {
+    co_await ts.recv(me, 5, 64, bytes);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 17, 64, bytes, 0x21));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TwoSidedSizes,
+    ::testing::Values(1,                 // sub-line
+                      31, 32, 33,        // around one line
+                      251 * 32,          // exactly one chunk
+                      251 * 32 + 1,      // chunk + 1 byte
+                      3 * 251 * 32 + 17, // several chunks, ragged tail
+                      100 * 1024));      // 100 KiB
+
+TEST(TwoSided, ReceiverFirstThenSender) {
+  scc::SccChip chip;
+  TwoSided ts(chip);
+  seed(chip, 0, 0, 4096, 0x01);
+  chip.spawn(1, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.recv(me, 0, 0, 4096);
+  });
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    co_await me.busy(50 * sim::kMicrosecond);  // sender arrives late
+    co_await ts.send(me, 1, 0, 4096);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 1, 0, 4096, 0x01));
+}
+
+TEST(TwoSided, BackToBackMessagesSamePair) {
+  scc::SccChip chip;
+  TwoSided ts(chip);
+  seed(chip, 2, 0, 512, 0x10);
+  seed(chip, 2, 1024, 512, 0x55);
+  chip.spawn(2, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.send(me, 3, 0, 512);
+    co_await ts.send(me, 3, 1024, 512);
+  });
+  chip.spawn(3, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.recv(me, 2, 0, 512);
+    co_await ts.recv(me, 2, 1024, 512);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 3, 0, 512, 0x10));
+  EXPECT_TRUE(check(chip, 3, 1024, 512, 0x55));
+}
+
+TEST(TwoSided, ConcurrentSendersSerializeByReceiverOrder) {
+  // Two senders target one receiver; the receiver chooses the order. The
+  // rendezvous protocol must deliver both intact with no interleaving.
+  scc::SccChip chip;
+  TwoSided ts(chip);
+  seed(chip, 10, 0, 2048, 0xA0);
+  seed(chip, 20, 0, 2048, 0xB0);
+  for (CoreId s : {10, 20}) {
+    chip.spawn(s, [&](scc::Core& me) -> sim::Task<void> {
+      co_await ts.send(me, 30, 0, 2048);
+    });
+  }
+  chip.spawn(30, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.recv(me, 20, 0, 2048);      // deliberately "second" spawner first
+    co_await ts.recv(me, 10, 4096, 2048);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 30, 0, 2048, 0xB0));
+  EXPECT_TRUE(check(chip, 30, 4096, 2048, 0xA0));
+}
+
+TEST(TwoSided, BidirectionalExchangeNoDeadlockWithOrdering) {
+  // The ring pattern of the allgather phase: each side sends and receives.
+  // One side must post its recv first (here: core 1).
+  scc::SccChip chip;
+  TwoSided ts(chip);
+  seed(chip, 0, 0, 1024, 0x0A);
+  seed(chip, 1, 0, 1024, 0x0B);
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.send(me, 1, 0, 1024);
+    co_await ts.recv(me, 1, 4096, 1024);
+  });
+  chip.spawn(1, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.recv(me, 0, 4096, 1024);
+    co_await ts.send(me, 0, 0, 1024);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 1, 4096, 1024, 0x0A));
+  EXPECT_TRUE(check(chip, 0, 4096, 1024, 0x0B));
+}
+
+TEST(TwoSided, RejectsBadArguments) {
+  scc::SccChip chip;
+  TwoSided ts(chip);
+  bool self_send = false, empty = false;
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    try {
+      co_await ts.send(me, 0, 0, 32);
+    } catch (const PreconditionError&) {
+      self_send = true;
+    }
+    try {
+      co_await ts.recv(me, 1, 0, 0);
+    } catch (const PreconditionError&) {
+      empty = true;
+    }
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(self_send);
+  EXPECT_TRUE(empty);
+}
+
+TEST(TwoSidedLayout, Validation) {
+  TwoSidedLayout ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  TwoSidedLayout overlap;
+  overlap.ready_line = 10;  // inside payload (2..252)
+  EXPECT_THROW(overlap.validate(), PreconditionError);
+
+  TwoSidedLayout same;
+  same.sent_line = same.ready_line;
+  EXPECT_THROW(same.validate(), PreconditionError);
+
+  TwoSidedLayout huge;
+  huge.payload_lines = 255;
+  EXPECT_THROW(huge.validate(), PreconditionError);
+}
+
+TEST(TwoSided, CustomLayoutWorks) {
+  TwoSidedLayout layout;
+  layout.ready_line = 6;  // e.g. barrier flags occupy 0..5
+  layout.sent_line = 7;
+  layout.payload_line = 8;
+  layout.payload_lines = 248;
+  scc::SccChip chip;
+  TwoSided ts(chip, layout);
+  seed(chip, 0, 0, 9000, 0x33);
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.send(me, 1, 0, 9000);
+  });
+  chip.spawn(1, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.recv(me, 0, 0, 9000);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 1, 0, 9000, 0x33));
+}
+
+TEST(TwoSided, ChunkingUsesPayloadBufferOnly) {
+  // A transfer larger than the buffer must not touch lines outside the
+  // payload region (flag lines are checked by value elsewhere; here we
+  // check the lines above the region stay untouched).
+  TwoSidedLayout layout;
+  layout.payload_lines = 16;
+  scc::SccChip chip;
+  TwoSided ts(chip, layout);
+  seed(chip, 0, 0, 64 * 32, 0x44);
+  chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.send(me, 1, 0, 64 * 32);
+  });
+  chip.spawn(1, [&](scc::Core& me) -> sim::Task<void> {
+    co_await ts.recv(me, 0, 0, 64 * 32);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  EXPECT_TRUE(check(chip, 1, 0, 64 * 32, 0x44));
+  for (std::size_t line = 18; line < kMpbCacheLines; ++line) {
+    EXPECT_EQ(chip.mpb(1).load(line), CacheLine{}) << "line " << line;
+  }
+}
+
+}  // namespace
+}  // namespace ocb::rma
