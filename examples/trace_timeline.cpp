@@ -11,13 +11,19 @@
 
 #include "core/ocbcast.h"
 #include "scc/trace.h"
+#include "scc/trace_json.h"
 
 using namespace ocb;
 
 int main() {
   scc::SccChip chip;
+  scc::JsonTraceCollector trace;
+  const scc::TraceSink json_sink = trace.sink();
   std::vector<scc::TraceEvent> events;
-  chip.set_trace_sink([&](const scc::TraceEvent& e) { events.push_back(e); });
+  chip.set_trace_sink([&](const scc::TraceEvent& e) {
+    events.push_back(e);
+    json_sink(e);
+  });
 
   // A 12-core k=3 broadcast of 8 lines keeps the picture readable.
   core::OcBcastOptions opt;
@@ -84,5 +90,14 @@ int main() {
               "chunk in parallel, and every core finishes with the M block (copy\n"
               "to private memory) — the paper's critical path, drawn by the\n"
               "simulator itself.\n");
+
+  // The same run, exported for interactive scrubbing.
+  const char* json_path = "trace_timeline.trace.json";
+  if (trace.write_file(json_path)) {
+    std::printf("\nwrote %s — open it at chrome://tracing or "
+                "https://ui.perfetto.dev for a zoomable view.\n", json_path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", json_path);
+  }
   return 0;
 }

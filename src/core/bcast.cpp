@@ -4,6 +4,7 @@
 
 #include "common/require.h"
 #include "core/binomial.h"
+#include "core/ft_ocbcast.h"
 #include "core/ocbcast.h"
 #include "core/onesided_sag.h"
 #include "core/scatter_allgather.h"
@@ -38,6 +39,14 @@ std::unique_ptr<BroadcastAlgorithm> make_broadcast(scc::SccChip& chip,
       o.parties = spec.parties;
       return std::make_unique<OneSidedScatterAllgather>(chip, o);
     }
+    case BcastKind::kFtOcBcast: {
+      FtOcBcastOptions o;
+      o.parties = spec.parties;
+      o.k = spec.k;
+      o.chunk_lines = spec.chunk_lines;
+      o.double_buffering = spec.double_buffering;
+      return std::make_unique<FtOcBcast>(chip, o);
+    }
   }
   OCB_ENSURE(false, "unknown broadcast kind");
   return nullptr;
@@ -59,6 +68,12 @@ std::string spec_label(const BcastSpec& spec) {
       return "s-ag";
     case BcastKind::kOneSidedScatterAllgather:
       return "os-sag";
+    case BcastKind::kFtOcBcast: {
+      std::ostringstream os;
+      os << "ft k=" << spec.k;
+      if (!spec.double_buffering) os << " (1buf)";
+      return os.str();
+    }
   }
   return "?";
 }

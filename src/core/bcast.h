@@ -39,6 +39,9 @@ enum class BcastKind {
   /// Extension (paper §5.4's suggestion): scatter-allgather re-built on
   /// one-sided primitives with MPB staging.
   kOneSidedScatterAllgather,
+  /// Extension: OC-Bcast hardened against the ocb::fault failure model
+  /// (checksums, watchdogs, crash re-routing); see core/ft_ocbcast.h.
+  kFtOcBcast,
 };
 
 struct BcastSpec {

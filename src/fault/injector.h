@@ -1,0 +1,50 @@
+// FaultInjector: the canonical scc::FaultHook.
+//
+// Replays an ocb::fault::FaultPlan against a simulation. All randomness
+// comes from a private xoshiro256** stream seeded from the plan, consulted
+// in the (deterministic) order transactions execute — so an identical plan
+// against an identical program injects the identical faults, transaction
+// for transaction, and the whole run is bit-reproducible.
+//
+//   fault::FaultPlan plan;
+//   plan.seed = 42;
+//   plan.rates.mpb_read = 1e-5;
+//   plan.crashes.push_back({.core = 5, .at = sim::us(30)});
+//   fault::FaultInjector injector(plan);
+//   chip.set_fault_hook(&injector);       // non-owning; outlive the run
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/plan.h"
+#include "scc/fault_hook.h"
+
+namespace ocb::fault {
+
+class FaultInjector final : public scc::FaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const InjectionStats& stats() const { return stats_; }
+
+  // scc::FaultHook
+  bool crashed(CoreId core, sim::Time now) override;
+  sim::Duration stall(CoreId core, sim::Time now) override;
+  void on_read(const scc::FaultSite& site, CacheLine& value) override;
+  bool on_write(const scc::FaultSite& site, CacheLine& value) override;
+
+ private:
+  double rate_for(scc::TraceOp op) const;
+  /// Flips one random bit of one random byte (never a no-op).
+  void corrupt(CacheLine& value);
+
+  FaultPlan plan_;
+  Xoshiro256 rng_;
+  InjectionStats stats_;
+  std::vector<bool> stall_applied_;    // parallel to plan_.stalls
+  std::vector<bool> crash_reported_;   // parallel to plan_.crashes
+};
+
+}  // namespace ocb::fault

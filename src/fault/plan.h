@@ -1,0 +1,83 @@
+// Declarative fault plans.
+//
+// A FaultPlan is a pure value describing every fault a run should suffer:
+// probabilistic transient corruption (per transaction kind), deterministic
+// stuck/lost flag lines, core stall intervals, and fail-stop crashes. The
+// plan plus its seed fully determines the injected faults — replaying the
+// same plan against the same program yields a bit-identical simulation
+// (see fault/injector.h, which consumes plans).
+//
+// Times are simulated times (integer picoseconds, sim/time.h); rates are
+// per-transaction probabilities in [0, 1].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/time.h"
+
+namespace ocb::fault {
+
+/// Per-transaction-kind probabilities that a single-line transfer observes
+/// (read) or carries (write) a flipped byte.
+struct CorruptionRates {
+  double mpb_read = 0.0;
+  double mpb_write = 0.0;
+  double mem_read = 0.0;
+  double mem_write = 0.0;
+
+  bool any() const {
+    return mpb_read > 0.0 || mpb_write > 0.0 || mem_read > 0.0 ||
+           mem_write > 0.0;
+  }
+};
+
+/// Writes by anyone into MPB line `line` of core `owner` are silently
+/// dropped while now() is in [from, until) — a stuck flag / lost doorbell.
+struct StuckLine {
+  CoreId owner = 0;
+  std::size_t line = 0;
+  sim::Time from = 0;
+  sim::Time until = 0;
+};
+
+/// Core `core` freezes for `duration` at the first transaction it attempts
+/// at or after `at` (an OS hiccup, an SMC interrupt storm).
+struct StallInterval {
+  CoreId core = 0;
+  sim::Time at = 0;
+  sim::Duration duration = 0;
+};
+
+/// Core `core` fail-stops at the first transaction it attempts at or after
+/// `at`: its process parks forever, but its tile's MPB keeps its contents
+/// and stays remotely readable (SRAM survives the core's death).
+struct FailStop {
+  CoreId core = 0;
+  sim::Time at = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  CorruptionRates rates;
+  std::vector<StuckLine> stuck_lines;
+  std::vector<StallInterval> stalls;
+  std::vector<FailStop> crashes;
+};
+
+/// What the injector actually did — for reporting and determinism checks.
+struct InjectionStats {
+  std::uint64_t reads_corrupted = 0;
+  std::uint64_t writes_corrupted = 0;
+  std::uint64_t writes_suppressed = 0;
+  std::uint64_t stalls_applied = 0;
+  std::uint64_t crashes_applied = 0;
+
+  std::uint64_t total() const {
+    return reads_corrupted + writes_corrupted + writes_suppressed +
+           stalls_applied + crashes_applied;
+  }
+};
+
+}  // namespace ocb::fault

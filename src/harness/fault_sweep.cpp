@@ -1,0 +1,134 @@
+#include "harness/fault_sweep.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "core/ocbcast.h"
+#include "fault/injector.h"
+
+namespace ocb::harness {
+
+namespace {
+
+std::vector<std::byte> make_pattern(std::size_t bytes, std::uint64_t seed) {
+  std::vector<std::byte> out(bytes);
+  Xoshiro256 rng(seed);
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(out.data() + i, &v, 8);
+    i += 8;
+  }
+  for (; i < out.size(); ++i) {
+    out[i] = static_cast<std::byte>(rng.next() & 0xff);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultRunOutcome run_fault_once(const FaultRunSpec& spec) {
+  OCB_REQUIRE(spec.message_bytes > 0, "empty message");
+
+  scc::SccChip chip(spec.config);
+  fault::FaultInjector injector(spec.plan);
+  chip.set_fault_hook(&injector);
+
+  const int parties = spec.ft.parties;
+  OCB_REQUIRE(spec.root >= 0 && spec.root < parties, "root out of range");
+
+  // Two algorithm arms sharing shape parameters (FT vs plain control).
+  std::unique_ptr<core::FtOcBcast> ft;
+  std::unique_ptr<core::OcBcast> plain;
+  core::BroadcastAlgorithm* algo;
+  if (spec.use_ft) {
+    ft = std::make_unique<core::FtOcBcast>(chip, spec.ft);
+    algo = ft.get();
+  } else {
+    core::OcBcastOptions o;
+    o.parties = spec.ft.parties;
+    o.k = spec.ft.k;
+    o.chunk_lines = spec.ft.chunk_lines;
+    o.double_buffering = spec.ft.double_buffering;
+    plain = std::make_unique<core::OcBcast>(chip, o);
+    algo = plain.get();
+  }
+
+  const std::vector<std::byte> pattern =
+      make_pattern(spec.message_bytes, spec.plan.seed ^ 0xc0ffee);
+  auto root_region = chip.memory(spec.root).host_bytes(0, spec.message_bytes);
+  std::copy(pattern.begin(), pattern.end(), root_region.begin());
+
+  std::vector<sim::Time> finish(static_cast<std::size_t>(parties), 0);
+  std::vector<bool> returned(static_cast<std::size_t>(parties), false);
+  for (CoreId c = 0; c < parties; ++c) {
+    chip.spawn(c, [&, c](scc::Core& me) -> sim::Task<void> {
+      co_await algo->run(me, spec.root, 0, spec.message_bytes);
+      finish[static_cast<std::size_t>(c)] = me.now();
+      returned[static_cast<std::size_t>(c)] = true;
+    });
+  }
+
+  const sim::RunResult run = chip.run(spec.max_events);
+
+  FaultRunOutcome out;
+  out.parties = parties;
+  out.events = run.events_processed;
+  out.stalled_processes = run.stalled_processes;
+  out.stalled_details = run.stalled_details;
+  out.injections = injector.stats();
+  out.crashed = static_cast<int>(injector.stats().crashes_applied);
+  out.survivors = parties - out.crashed;
+  // Drained = the queue emptied on its own (didn't hit the event budget).
+  out.drained = run.events_processed < spec.max_events;
+
+  auto is_crashed = [&](CoreId c) {
+    for (const fault::FailStop& f : spec.plan.crashes) {
+      if (f.core == c) return true;
+    }
+    return false;
+  };
+
+  sim::Time last = 0;
+  bool all_returned = true;
+  for (CoreId c = 0; c < parties; ++c) {
+    if (is_crashed(c)) continue;
+    const auto i = static_cast<std::size_t>(c);
+    if (!returned[i]) {
+      all_returned = false;
+      continue;
+    }
+    last = std::max(last, finish[i]);
+    if (spec.use_ft) {
+      const core::DeliveryReport& rep = ft->report(c);
+      if (rep.delivered) ++out.delivered;
+      if (rep.gave_up) ++out.gave_up;
+    } else {
+      ++out.delivered;  // plain protocol has no report; returning = claim
+    }
+    const auto got = chip.memory(c).host_bytes(0, spec.message_bytes);
+    if (std::equal(pattern.begin(), pattern.end(), got.begin())) {
+      ++out.correct;
+    }
+  }
+  if (all_returned) out.latency_us = sim::to_us(last);
+  return out;
+}
+
+FaultSweepResult run_fault_sweep(FaultRunSpec spec,
+                                 const std::vector<std::uint64_t>& seeds) {
+  FaultSweepResult out;
+  for (const std::uint64_t seed : seeds) {
+    spec.plan.seed = seed;
+    FaultRunOutcome o = run_fault_once(spec);
+    if (o.all_survivors_correct()) ++out.runs_all_correct;
+    out.seeds.push_back(seed);
+    out.outcomes.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace ocb::harness

@@ -1,0 +1,77 @@
+#include "rma/checksum.h"
+
+#include "common/require.h"
+#include "scc/chip.h"
+
+namespace ocb::rma {
+
+namespace {
+
+void require_mpb_range(std::size_t first_line, std::size_t lines) {
+  OCB_REQUIRE(lines > 0, "zero-length RMA operation");
+  OCB_REQUIRE(first_line + lines <= kMpbCacheLines, "MPB range out of bounds");
+}
+
+void require_mem_offset(std::size_t offset) {
+  OCB_REQUIRE(offset % kCacheLineBytes == 0,
+              "private-memory offset must be line-aligned");
+}
+
+}  // namespace
+
+std::uint64_t host_checksum_mem(scc::SccChip& chip, CoreId core,
+                                std::size_t offset, std::size_t lines) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::size_t i = 0; i < lines; ++i) {
+    h = fold_line(h, chip.memory(core).load(offset + i * kCacheLineBytes));
+  }
+  return h;
+}
+
+sim::Task<std::uint64_t> put_mem_to_mpb_sum(scc::Core& self, MpbAddr dst,
+                                            std::size_t src_offset,
+                                            std::size_t lines) {
+  require_mem_offset(src_offset);
+  require_mpb_range(dst.line, lines);
+  co_await self.busy(self.chip().config().o_put_mem);
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::size_t i = 0; i < lines; ++i) {
+    CacheLine cl;
+    co_await self.mem_read_line(src_offset + i * kCacheLineBytes, cl);
+    h = fold_line(h, cl);
+    co_await self.mpb_write_line(dst.owner, dst.line + i, cl);
+  }
+  co_return h;
+}
+
+sim::Task<std::uint64_t> get_mpb_to_mpb_sum(scc::Core& self, std::size_t dst_line,
+                                            MpbAddr src, std::size_t lines) {
+  require_mpb_range(src.line, lines);
+  require_mpb_range(dst_line, lines);
+  co_await self.busy(self.chip().config().o_get_mpb);
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::size_t i = 0; i < lines; ++i) {
+    CacheLine cl;
+    co_await self.mpb_read_line(src.owner, src.line + i, cl);
+    h = fold_line(h, cl);
+    co_await self.mpb_write_line(self.id(), dst_line + i, cl);
+  }
+  co_return h;
+}
+
+sim::Task<std::uint64_t> get_mpb_to_mem_sum(scc::Core& self, std::size_t dst_offset,
+                                            MpbAddr src, std::size_t lines) {
+  require_mem_offset(dst_offset);
+  require_mpb_range(src.line, lines);
+  co_await self.busy(self.chip().config().o_get_mem);
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::size_t i = 0; i < lines; ++i) {
+    CacheLine cl;
+    co_await self.mpb_read_line(src.owner, src.line + i, cl);
+    h = fold_line(h, cl);
+    co_await self.mem_write_line(dst_offset + i * kCacheLineBytes, cl);
+  }
+  co_return h;
+}
+
+}  // namespace ocb::rma

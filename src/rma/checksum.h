@@ -1,0 +1,50 @@
+// Checksummed RMA transfers.
+//
+// End-to-end integrity for multi-line transfers: each variant moves lines
+// exactly like its rma/rma.h counterpart (identical simulated cost — the
+// fold happens on bytes the core already holds in registers) and returns
+// the FNV-1a 64 checksum of the data as OBSERVED by this core. A getter
+// comparing its fold against the putter's published fold detects any
+// corruption the read path introduced; see core/ft_ocbcast.h for the
+// protocol built on top.
+#pragma once
+
+#include <cstdint>
+
+#include "rma/rma.h"
+
+namespace ocb::rma {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Folds one cache line into a running FNV-1a 64 hash.
+constexpr std::uint64_t fold_line(std::uint64_t h, const CacheLine& cl) {
+  for (std::byte b : cl.bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Host-side (zero simulated cost) checksum of `lines` cache lines of core
+/// `core`'s private memory starting at byte `offset` — for verification.
+std::uint64_t host_checksum_mem(scc::SccChip& chip, CoreId core,
+                                std::size_t offset, std::size_t lines);
+
+/// put_mem_to_mpb + checksum of the lines read from private memory.
+sim::Task<std::uint64_t> put_mem_to_mpb_sum(scc::Core& self, MpbAddr dst,
+                                            std::size_t src_offset,
+                                            std::size_t lines);
+
+/// get_mpb_to_mpb + checksum of the lines observed at the source MPB. Data
+/// lands in the local MPB even when the checksum later proves it corrupt —
+/// callers re-fetch before forwarding.
+sim::Task<std::uint64_t> get_mpb_to_mpb_sum(scc::Core& self, std::size_t dst_line,
+                                            MpbAddr src, std::size_t lines);
+
+/// get_mpb_to_mem + checksum of the lines observed at the source MPB.
+sim::Task<std::uint64_t> get_mpb_to_mem_sum(scc::Core& self, std::size_t dst_offset,
+                                            MpbAddr src, std::size_t lines);
+
+}  // namespace ocb::rma

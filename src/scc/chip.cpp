@@ -59,7 +59,9 @@ sim::Task<void> SccChip::invoke_program(
 
 void SccChip::spawn(CoreId id, std::function<sim::Task<void>(Core&)> program) {
   OCB_REQUIRE(static_cast<bool>(program), "empty core program");
-  engine_.spawn(invoke_program(std::move(program), core(id)));
+  engine_.spawn(invoke_program(std::move(program), core(id)), [this, id] {
+    return "core " + std::to_string(id) + ": " + core(id).wait_note();
+  });
 }
 
 sim::RunResult SccChip::run(std::uint64_t max_events) {

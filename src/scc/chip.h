@@ -25,6 +25,7 @@
 #include "noc/memctrl.h"
 #include "scc/config.h"
 #include "scc/core.h"
+#include "scc/fault_hook.h"
 #include "scc/trace.h"
 #include "sim/engine.h"
 
@@ -65,6 +66,12 @@ class SccChip {
     if (trace_sink_) trace_sink_(event);
   }
 
+  /// Installs (or clears, with nullptr) a fault-injection hook consulted at
+  /// every line transaction; see scc/fault_hook.h. Non-owning — the hook
+  /// must outlive the simulation.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
  private:
   static sim::Task<void> invoke_program(
       std::function<sim::Task<void>(Core&)> program, Core& core);
@@ -79,6 +86,7 @@ class SccChip {
       mc_ports_;
   std::array<std::unique_ptr<Core>, kNumCores> cores_;
   TraceSink trace_sink_;
+  FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace ocb::scc

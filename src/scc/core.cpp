@@ -48,6 +48,26 @@ int Core::mpb_distance(CoreId other) const {
 
 sim::Time Core::now() const { return chip_->engine().now(); }
 
+std::string Core::wait_note() const {
+  std::string note = wait_what_;
+  if (wait_owner_ >= 0) {
+    note += " mpb[" + std::to_string(wait_owner_) + "]";
+    if (wait_line_ >= 0) note += ":" + std::to_string(wait_line_);
+  }
+  return note;
+}
+
+sim::Task<void> Core::fault_gate() {
+  FaultHook* hook = chip_->fault_hook();
+  const bool dead = hook->crashed(id_, now());
+  if (dead) {
+    set_wait_note("halted (fail-stop)");
+    co_await sim::Engine::halt_forever();
+  }
+  const sim::Duration stall = hook->stall(id_, now());
+  if (stall > 0) co_await chip_->engine().sleep(stall);
+}
+
 sim::Duration Core::jittered(sim::Duration d) {
   const sim::Duration j = chip_->config().jitter;
   if (j == 0) return d;
@@ -55,6 +75,7 @@ sim::Duration Core::jittered(sim::Duration d) {
 }
 
 sim::Task<void> Core::busy(sim::Duration d) {
+  if (chip_->fault_hook() != nullptr) co_await fault_gate();
   const sim::Time t0 = now();
   co_await chip_->engine().sleep(jittered(d));
   if (chip_->tracing()) {
@@ -63,6 +84,7 @@ sim::Task<void> Core::busy(sim::Duration d) {
 }
 
 sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& out) {
+  if (chip_->fault_hook() != nullptr) co_await fault_gate();
   const SccConfig& cfg = chip_->config();
   const noc::TileCoord owner_tile = noc::tile_of_core(owner);
   const sim::Time t0 = now();
@@ -79,6 +101,9 @@ sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& o
         .use(cfg.t_mpb_port, /*priority=*/id_);
   }
   out = chip_->mpb(owner).load(line);
+  if (FaultHook* hook = chip_->fault_hook()) {
+    hook->on_read({TraceOp::kMpbRead, id_, owner, line, now()}, out);
+  }
   co_await chip_->mesh().traverse(owner_tile, tile_);
   if (chip_->tracing()) {
     chip_->trace({TraceOp::kMpbRead, id_, owner, line, t0, now()});
@@ -86,6 +111,7 @@ sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& o
 }
 
 sim::Task<void> Core::mpb_write_line(CoreId owner, std::size_t line, CacheLine value) {
+  if (chip_->fault_hook() != nullptr) co_await fault_gate();
   const SccConfig& cfg = chip_->config();
   const noc::TileCoord owner_tile = noc::tile_of_core(owner);
   const sim::Time t0 = now();
@@ -101,7 +127,11 @@ sim::Task<void> Core::mpb_write_line(CoreId owner, std::size_t line, CacheLine v
   // acknowledgment returns to the writer, which is what makes the model's
   // write latency (Formula 1) one mesh traversal shorter than its
   // completion time (Formula 2).
-  chip_->mpb(owner).store(line, value);
+  bool commit = true;
+  if (FaultHook* hook = chip_->fault_hook()) {
+    commit = hook->on_write({TraceOp::kMpbWrite, id_, owner, line, now()}, value);
+  }
+  if (commit) chip_->mpb(owner).store(line, value);
   co_await chip_->mesh().traverse(owner_tile, tile_);
   if (chip_->tracing()) {
     chip_->trace({TraceOp::kMpbWrite, id_, owner, line, t0, now()});
@@ -109,11 +139,15 @@ sim::Task<void> Core::mpb_write_line(CoreId owner, std::size_t line, CacheLine v
 }
 
 sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
+  if (chip_->fault_hook() != nullptr) co_await fault_gate();
   const SccConfig& cfg = chip_->config();
   const sim::Time t0 = now();
   if (cfg.cache_enabled && cache_.lookup(offset)) {
     co_await core_overhead(cfg.o_cache_hit);
     out = chip_->memory(id_).load(offset);
+    if (FaultHook* hook = chip_->fault_hook()) {
+      hook->on_read({TraceOp::kCacheHit, id_, id_, offset, now()}, out);
+    }
     if (chip_->tracing()) {
       chip_->trace({TraceOp::kCacheHit, id_, id_, offset, t0, now()});
     }
@@ -123,6 +157,9 @@ sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
   co_await chip_->mesh().traverse(tile_, mc_tile_);
   co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
   out = chip_->memory(id_).load(offset);
+  if (FaultHook* hook = chip_->fault_hook()) {
+    hook->on_read({TraceOp::kMemRead, id_, id_, offset, now()}, out);
+  }
   if (cfg.cache_enabled) cache_.insert(offset);
   co_await chip_->mesh().traverse(mc_tile_, tile_);
   if (chip_->tracing()) {
@@ -131,6 +168,7 @@ sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
 }
 
 sim::Task<void> Core::mem_write_line(std::size_t offset, CacheLine value) {
+  if (chip_->fault_hook() != nullptr) co_await fault_gate();
   const SccConfig& cfg = chip_->config();
   const sim::Time t0 = now();
   // Write-through with allocate: the written line is warm afterwards (the
@@ -138,7 +176,11 @@ sim::Task<void> Core::mem_write_line(std::size_t offset, CacheLine value) {
   co_await core_overhead(cfg.o_mem_core_write);
   co_await chip_->mesh().traverse(tile_, mc_tile_);
   co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
-  chip_->memory(id_).store(offset, value);
+  bool commit = true;
+  if (FaultHook* hook = chip_->fault_hook()) {
+    commit = hook->on_write({TraceOp::kMemWrite, id_, id_, offset, now()}, value);
+  }
+  if (commit) chip_->memory(id_).store(offset, value);
   if (cfg.cache_enabled) cache_.insert(offset);
   co_await chip_->mesh().traverse(mc_tile_, tile_);
   if (chip_->tracing()) {
@@ -153,6 +195,7 @@ sim::Task<void> Core::core_overhead(sim::Duration d) {
 }
 
 sim::Task<void> Core::send_interrupt(CoreId target) {
+  if (chip_->fault_hook() != nullptr) co_await fault_gate();
   noc::require_core(target);
   const SccConfig& cfg = chip_->config();
   co_await core_overhead(cfg.o_ipi_send);
@@ -163,14 +206,18 @@ sim::Task<void> Core::send_interrupt(CoreId target) {
 }
 
 sim::Task<void> Core::wait_interrupt() {
+  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  set_wait_note("irq-wait");
   while (irq_pending_ == 0) {
     co_await irq_trigger_.wait();
   }
+  set_wait_note("running");
   --irq_pending_;
   co_await core_overhead(chip_->config().o_irq_entry);
 }
 
 sim::Task<bool> Core::poll_interrupt() {
+  if (chip_->fault_hook() != nullptr) co_await fault_gate();
   co_await core_overhead(chip_->config().o_irq_check);
   if (irq_pending_ == 0) co_return false;
   --irq_pending_;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <list>
+#include <string>
 #include <unordered_map>
 
 #include "common/rng.h"
@@ -108,6 +109,21 @@ class Core {
   /// Pending count (host-side query, no simulated cost).
   int interrupts_pending() const { return irq_pending_; }
 
+  // --- diagnostics ---------------------------------------------------------
+
+  /// Records what this core is (about to be) blocked on; blocking
+  /// primitives (rma::wait_flag, interrupt waits, fault halts) call this so
+  /// a stalled run can report WHY each core hung (sim::RunResult's
+  /// stalled_details). Cheap: three stores, formatted lazily.
+  void set_wait_note(const char* what, CoreId owner = -1, int line = -1) {
+    wait_what_ = what;
+    wait_owner_ = owner;
+    wait_line_ = line;
+  }
+
+  /// Renders the last recorded wait note, e.g. "flag-wait mpb[7]:3".
+  std::string wait_note() const;
+
  private:
   friend class SccChip;
   void raise_interrupt() {
@@ -117,6 +133,9 @@ class Core {
 
   sim::Duration jittered(sim::Duration d);
   sim::Task<void> core_overhead(sim::Duration d);
+  /// Crash/stall gate run before each transaction when a FaultHook is
+  /// installed: a crashed core parks here forever, a stalled one sleeps.
+  sim::Task<void> fault_gate();
 
   SccChip* chip_;
   CoreId id_;
@@ -127,6 +146,9 @@ class Core {
   Xoshiro256 rng_;
   int irq_pending_ = 0;
   sim::Trigger irq_trigger_;
+  const char* wait_what_ = "running";
+  CoreId wait_owner_ = -1;
+  int wait_line_ = -1;
 };
 
 }  // namespace ocb::scc

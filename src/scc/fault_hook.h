@@ -1,0 +1,52 @@
+// Fault-injection seam at the cache-line-transaction boundary.
+//
+// A FaultHook, installed on the chip like a TraceSink, observes every
+// single-line transaction a core executes and may perturb it:
+//   * corrupt the value a read OBSERVES (the stored data stays intact —
+//     models a bit flip on the mesh or in the requester's path);
+//   * corrupt or suppress a store (a lost/stuck line write);
+//   * charge an extra stall before a transaction (a frozen core);
+//   * declare a core fail-stopped, parking its process forever.
+//
+// The hook runs synchronously inside the simulation, so any randomness it
+// uses must be seeded deterministically for runs to stay bit-reproducible
+// (see ocb::fault::FaultInjector, the canonical implementation). Disabled
+// (the default) it costs one branch per transaction, like tracing.
+#pragma once
+
+#include "common/types.h"
+#include "scc/trace.h"
+#include "sim/time.h"
+
+namespace ocb::scc {
+
+/// One line transaction as seen by the hook (op kinds reuse TraceOp).
+struct FaultSite {
+  TraceOp op;
+  CoreId core;        ///< the core executing the transaction
+  CoreId target;      ///< MPB owner for kMpb*, otherwise == core
+  std::size_t index;  ///< MPB line or memory byte offset
+  sim::Time now;
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// Fail-stop check, consulted at every transaction boundary; returning
+  /// true parks the core's process forever (it counts as stalled).
+  virtual bool crashed(CoreId core, sim::Time now) = 0;
+
+  /// Extra stall charged to `core` before its next transaction (0 = none).
+  virtual sim::Duration stall(CoreId core, sim::Time now) = 0;
+
+  /// May mutate the value a read observes; the backing storage keeps the
+  /// original bytes.
+  virtual void on_read(const FaultSite& site, CacheLine& value) = 0;
+
+  /// May mutate the value about to be stored, or suppress the store
+  /// entirely by returning false (a lost write / stuck line).
+  virtual bool on_write(const FaultSite& site, CacheLine& value) = 0;
+};
+
+}  // namespace ocb::scc

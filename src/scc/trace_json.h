@@ -1,0 +1,43 @@
+// Chrome trace_event JSON export of a simulated run.
+//
+// JsonTraceCollector buffers TraceEvents and renders them in the Chrome
+// tracing / Perfetto "traceEvents" JSON format: one complete ("ph":"X")
+// event per transaction, pid 0, tid = core id, microsecond timestamps.
+// Load the file at chrome://tracing or https://ui.perfetto.dev to scrub a
+// per-core timeline of a collective.
+//
+//   scc::JsonTraceCollector trace;
+//   chip.set_trace_sink(trace.sink());
+//   ... run ...
+//   trace.write_file("bcast.trace.json");
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scc/trace.h"
+
+namespace ocb::scc {
+
+class JsonTraceCollector {
+ public:
+  /// A sink to install with SccChip::set_trace_sink. The collector must
+  /// outlive the chip's use of the sink.
+  TraceSink sink() {
+    return [this](const TraceEvent& e) { events_.push_back(e); };
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Renders the buffered events as a complete trace_event JSON document.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ocb::scc

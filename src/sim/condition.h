@@ -9,6 +9,7 @@
 #pragma once
 
 #include <coroutine>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.h"
@@ -28,7 +29,7 @@ class Trigger {
       Trigger* trigger;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        trigger->waiters_.push_back(h);
+        trigger->waiters_.push_back({h, nullptr});
       }
       void await_resume() const noexcept {}
     };
@@ -50,11 +51,37 @@ class Trigger {
       std::uint64_t seen;
       bool await_ready() const noexcept { return trigger->epoch_ != seen; }
       void await_suspend(std::coroutine_handle<> h) {
-        trigger->waiters_.push_back(h);
+        trigger->waiters_.push_back({h, nullptr});
       }
       void await_resume() const noexcept {}
     };
     return Awaiter{this, seen_epoch};
+  }
+
+  /// Awaitable with a deadline (the watchdog primitive): suspends until the
+  /// next fire() OR until `timeout` elapses, whichever comes first; resumes
+  /// immediately if the epoch already moved past `seen_epoch`. The awaited
+  /// value is true when a fire (or the slipped-epoch fast path) woke the
+  /// waiter and false on timeout.
+  ///
+  /// Lifetime: the Trigger must outlive the timeout event (it owns the
+  /// bookkeeping the timer callback touches). Triggers embedded in MPB
+  /// storage or other chip-lifetime objects always satisfy this.
+  auto wait_for(Duration timeout, std::uint64_t seen_epoch) {
+    struct Awaiter {
+      Trigger* trigger;
+      Duration timeout;
+      std::uint64_t seen;
+      TimedWait* tw = nullptr;
+      bool await_ready() const noexcept { return trigger->epoch_ != seen; }
+      void await_suspend(std::coroutine_handle<> h) {
+        tw = trigger->acquire_timed(h);
+        trigger->waiters_.push_back({h, tw});
+        trigger->arm_timeout(tw, timeout);
+      }
+      bool await_resume() const noexcept { return tw == nullptr || tw->fired; }
+    };
+    return Awaiter{this, timeout, seen_epoch};
   }
 
   /// Wakes every waiter at the current simulated time (+ optional delay).
@@ -64,8 +91,29 @@ class Trigger {
   std::size_t waiter_count() const { return waiters_.size(); }
 
  private:
+  /// Shared state of one wait_for(): settled exactly once by either the
+  /// fire path or the timeout event; the timeout event always runs last and
+  /// recycles the slot.
+  struct TimedWait {
+    Trigger* trigger = nullptr;
+    std::coroutine_handle<> h;
+    bool settled = false;
+    bool fired = false;
+  };
+  struct Waiter {
+    std::coroutine_handle<> h;
+    TimedWait* timed;  // null for plain waits
+  };
+
+  TimedWait* acquire_timed(std::coroutine_handle<> h);
+  void release_timed(TimedWait* tw);
+  void arm_timeout(TimedWait* tw, Duration timeout);
+  static void timeout_expired(void* ctx);
+
   Engine* engine_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<Waiter> waiters_;
+  std::vector<std::unique_ptr<TimedWait>> timed_pool_;
+  std::vector<TimedWait*> timed_free_;
   std::uint64_t epoch_ = 0;
 };
 

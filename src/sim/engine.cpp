@@ -21,8 +21,8 @@ void RootPromise::unhandled_exception() noexcept {
 }  // namespace detail
 
 Engine::~Engine() {
-  for (auto h : roots_) {
-    if (h) h.destroy();
+  for (Root& root : roots_) {
+    if (root.handle) root.handle.destroy();
   }
 }
 
@@ -41,11 +41,11 @@ detail::RootTask Engine::make_root(Task<void> task) {
   co_await std::move(task);
 }
 
-void Engine::spawn(Task<void> task) {
+void Engine::spawn(Task<void> task, std::function<std::string()> describe) {
   OCB_REQUIRE(task.valid(), "spawning an empty Task");
   detail::RootTask root = make_root(std::move(task));
   root.handle.promise().engine = this;
-  roots_.push_back(root.handle);
+  roots_.push_back(Root{root.handle, std::move(describe)});
   ++live_;
   schedule(now_, root.handle);
 }
@@ -70,7 +70,16 @@ RunResult Engine::run(std::uint64_t max_events) {
     }
   }
   events_processed_ += processed;
-  return RunResult{events_processed_, live_, now_};
+  RunResult result{events_processed_, live_, now_, {}};
+  if (live_ > 0) {
+    for (std::size_t i = 0; i < roots_.size(); ++i) {
+      const Root& root = roots_[i];
+      if (root.handle.promise().finished) continue;
+      result.stalled_details.push_back(
+          root.describe ? root.describe() : "process #" + std::to_string(i));
+    }
+  }
+  return result;
 }
 
 }  // namespace ocb::sim

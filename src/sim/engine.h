@@ -15,7 +15,9 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "sim/task.h"
@@ -61,9 +63,14 @@ struct RootPromise {
 struct RunResult {
   std::uint64_t events_processed = 0;
   /// Processes spawned but not finished when the event queue drained.
-  /// Non-zero means the simulation deadlocked (e.g. a flag never set).
+  /// Non-zero means the simulation deadlocked (e.g. a flag never set) or a
+  /// process was deliberately halted (fault injection).
   std::size_t stalled_processes = 0;
   Time end_time = 0;
+  /// One entry per stalled process: its spawn label plus the wait reason it
+  /// last reported (see Engine::spawn), e.g. "core 12: flag-wait mpb[7]:3".
+  /// Makes fault-induced hangs diagnosable without a debugger.
+  std::vector<std::string> stalled_details;
 
   bool completed() const { return stalled_processes == 0; }
 };
@@ -85,8 +92,11 @@ class Engine {
   /// Schedules a plain callback (no allocation; fn must outlive the event).
   void schedule_fn(Time t, void (*fn)(void*), void* ctx);
 
-  /// Starts a top-level process at the current simulated time.
-  void spawn(Task<void> task);
+  /// Starts a top-level process at the current simulated time. `describe`
+  /// (optional) is invoked lazily when the process is still unfinished at
+  /// the end of a run(), to fill RunResult::stalled_details — it should
+  /// report who the process is and what it is currently waiting for.
+  void spawn(Task<void> task, std::function<std::string()> describe = {});
 
   /// Number of spawned processes that have not yet finished.
   std::size_t live_processes() const { return live_; }
@@ -109,6 +119,16 @@ class Engine {
   /// first exception that escaped any process. Returns queue statistics.
   RunResult run(std::uint64_t max_events = UINT64_MAX);
 
+  /// Awaitable that never resumes: the simulation analogue of a fail-stop.
+  /// The suspended frame is reclaimed at engine teardown (see the ownership
+  /// model above), and the process counts as stalled in RunResult.
+  struct HaltForever {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+  static HaltForever halt_forever() { return {}; }
+
  private:
   friend struct detail::RootPromise;
 
@@ -126,6 +146,11 @@ class Engine {
     }
   };
 
+  struct Root {
+    std::coroutine_handle<detail::RootPromise> handle;
+    std::function<std::string()> describe;  // may be empty
+  };
+
   static detail::RootTask make_root(Task<void> task);
 
   void note_process_finished() { --live_; }
@@ -134,7 +159,7 @@ class Engine {
   }
 
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
-  std::vector<std::coroutine_handle<detail::RootPromise>> roots_;
+  std::vector<Root> roots_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

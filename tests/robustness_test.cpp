@@ -8,9 +8,14 @@
 // stalled processes, races as corrupted payloads).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
 #include <tuple>
+#include <vector>
 
+#include "core/ocreduce.h"
 #include "harness/measurement.h"
+#include "rma/barrier.h"
 
 namespace ocb {
 namespace {
@@ -44,6 +49,7 @@ TEST_P(JitterSweep, ContentSurvivesScheduleNoise) {
       {core::BcastKind::kOcBcast, 47},  {core::BcastKind::kBinomial, 0},
       {core::BcastKind::kScatterAllgather, 0},
       {core::BcastKind::kOneSidedScatterAllgather, 0},
+      {core::BcastKind::kFtOcBcast, 7},
   };
   const Config& cfg = kConfigs[algo];
   const harness::BcastRunResult r =
@@ -53,7 +59,7 @@ TEST_P(JitterSweep, ContentSurvivesScheduleNoise) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AlgorithmsBySeed, JitterSweep,
-                         ::testing::Combine(::testing::Range(0, 6),
+                         ::testing::Combine(::testing::Range(0, 7),
                                             ::testing::Values(1u, 2u, 3u, 4u,
                                                               5u)));
 
@@ -82,6 +88,78 @@ TEST(JitterSweep, JitterOnlyAddsTime) {
   for (std::uint64_t seed : {1u, 7u, 23u}) {
     spec.config.seed = seed;
     EXPECT_GT(run_broadcast(spec).latency_us.mean(), clean) << seed;
+  }
+}
+
+// OC-Reduce under the same schedule fuzzing: every seed must produce the
+// exact host-computed reduction at the root (sums of integers stored in
+// doubles, so floating-point associativity cannot blur the comparison).
+TEST(JitterSweep, ReduceSurvivesScheduleNoise) {
+  constexpr std::size_t kCount = 512;  // 128 lines of doubles
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    scc::SccConfig cfg;
+    cfg.jitter = 60 * sim::kNanosecond;
+    cfg.seed = seed;
+    scc::SccChip chip(cfg);
+    core::OcReduce reduce(chip);
+    std::vector<double> expected(kCount, 0.0);
+    for (CoreId c = 0; c < kNumCores; ++c) {
+      auto region = chip.memory(c).host_bytes(0, kCount * sizeof(double));
+      for (std::size_t i = 0; i < kCount; ++i) {
+        const double v = static_cast<double>((c * 131 + i * 17) % 1000);
+        std::memcpy(region.data() + i * sizeof(double), &v, sizeof(double));
+        expected[i] += v;
+      }
+    }
+    const std::size_t out_off = kCount * sizeof(double);
+    for (CoreId c = 0; c < kNumCores; ++c) {
+      chip.spawn(c, [&reduce, out_off](scc::Core& me) -> sim::Task<void> {
+        co_await reduce.run(me, 0, 0, out_off, kCount, core::ReduceOp::kSum);
+      });
+    }
+    ASSERT_TRUE(chip.run().completed()) << "seed " << seed;
+    auto result = chip.memory(0).host_bytes(out_off, kCount * sizeof(double));
+    for (std::size_t i = 0; i < kCount; ++i) {
+      double got;
+      std::memcpy(&got, result.data() + i * sizeof(double), sizeof(double));
+      ASSERT_EQ(got, expected[i]) << "seed " << seed << " element " << i;
+    }
+  }
+}
+
+// The RMA dissemination barrier under jitter: after any wait() returns,
+// every other core must have arrived at that round — no core may slip
+// through early no matter how the schedule lands.
+TEST(JitterSweep, BarrierHoldsUnderScheduleNoise) {
+  constexpr int kRounds = 6;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    scc::SccConfig cfg;
+    cfg.jitter = 80 * sim::kNanosecond;
+    cfg.seed = seed;
+    scc::SccChip chip(cfg);
+    rma::FlagBarrier barrier(chip, 0, kNumCores);
+    std::array<int, kRounds> arrived{};
+    bool violated = false;
+    for (CoreId c = 0; c < kNumCores; ++c) {
+      chip.spawn(c, [&, c](scc::Core& me) -> sim::Task<void> {
+        for (int r = 0; r < kRounds; ++r) {
+          // Desynchronize arrivals (deterministically per core/round).
+          co_await me.busy((static_cast<sim::Duration>(c) * 37 +
+                            static_cast<sim::Duration>(r) * 101) %
+                           (2 * sim::kMicrosecond));
+          ++arrived[static_cast<std::size_t>(r)];
+          co_await barrier.wait(me);
+          if (arrived[static_cast<std::size_t>(r)] != kNumCores) {
+            violated = true;
+          }
+        }
+      });
+    }
+    ASSERT_TRUE(chip.run().completed()) << "seed " << seed;
+    EXPECT_FALSE(violated) << "seed " << seed;
+    for (int r = 0; r < kRounds; ++r) {
+      EXPECT_EQ(arrived[static_cast<std::size_t>(r)], kNumCores);
+    }
   }
 }
 

@@ -1,10 +1,12 @@
 // Tests for the execution-trace facility.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <vector>
 
 #include "rma/rma.h"
 #include "scc/chip.h"
+#include "scc/trace_json.h"
 
 namespace ocb::scc {
 namespace {
@@ -91,6 +93,69 @@ TEST(Trace, IntervalsMatchTransactionCosts) {
   EXPECT_EQ(events[0].end - events[0].start, cfg.o_mpb() + 4 * cfg.l_hop);
   EXPECT_EQ(events[0].op, TraceOp::kMpbRead);
   EXPECT_EQ(events[0].target, 3);
+}
+
+TEST(TraceJson, ExportsChromeTraceEvents) {
+  SccChip chip;
+  JsonTraceCollector trace;
+  chip.set_trace_sink(trace.sink());
+  chip.memory(0).host_bytes(0, 2 * kCacheLineBytes);
+  chip.spawn(0, [](Core& me) -> sim::Task<void> {
+    co_await rma::put_mem_to_mpb(me, rma::MpbAddr{5, 10}, 0, 2);
+  });
+  ASSERT_TRUE(chip.run().completed());
+  ASSERT_FALSE(trace.events().empty());
+
+  const std::string json = trace.to_json();
+  // Structural sanity: the trace_event container, per-core thread_name
+  // metadata, complete-phase events, and microsecond timestamps.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mpb-write\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"mem-read\""), std::string::npos);
+  // Balanced braces/brackets — catches missing commas or truncation.
+  long braces = 0, brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  // One "X" event per captured transaction.
+  std::size_t x_events = 0;
+  for (std::size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, trace.events().size());
+
+  // Round-trip through write_file.
+  const std::string path = ::testing::TempDir() + "ocb_trace_test.json";
+  ASSERT_TRUE(trace.write_file(path));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string back;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) back.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(back, json);
+
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceJson, EmptyTraceIsStillValidJson) {
+  JsonTraceCollector trace;
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
 TEST(Trace, SinkCanBeCleared) {
