@@ -2,33 +2,255 @@
 // repository that measures REAL time, not simulated time. Useful when
 // sizing experiments: the paper-scale sweeps process tens of millions of
 // events, and this reports how fast this machine chews through them.
+//
+// Three modes:
+//   (default)                 google-benchmark over the same workloads
+//   --json_out=PATH           run the fixed workload set once and write a
+//                             machine-readable record (events/sec per
+//                             workload, queue depth, allocator counters);
+//                             results/bench_simulator_speed.json is the
+//                             committed perf-trajectory file (see README)
+//   --perf_smoke=BASELINE     run the 1024-line workload and exit 1 if its
+//                             events/sec drops below 70% of the matching
+//                             entry in BASELINE (a --json_out file); this
+//                             is the `perf-smoke` CMake target
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "harness/fault_sweep.h"
 #include "harness/measurement.h"
 
 namespace {
 
 using namespace ocb;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---- The fixed workload set (shared by every mode) --------------------
+
+harness::BcastRunSpec ocbcast_spec(std::size_t lines) {
+  harness::BcastRunSpec spec;
+  spec.message_bytes = lines * kCacheLineBytes;
+  spec.iterations = 1;
+  spec.warmup = 0;
+  spec.verify = false;
+  return spec;
+}
+
+// Mirrors tests/fault_test.cpp's base scenario: a 64 KiB FT-OC-Bcast with a
+// low transient-corruption rate, swept over 20 seeds. Exercises the fault
+// slow path AND harness::parallel_map (the sweep fans out over threads), so
+// its events/sec is a parallel-throughput number.
+harness::FaultRunSpec fault_spec() {
+  harness::FaultRunSpec spec;
+  spec.message_bytes = 64 * 1024;
+  spec.ft.parties = kNumCores;
+  spec.plan.rates.mpb_read = 1e-5;
+  return spec;
+}
+
+std::vector<std::uint64_t> fault_seeds() {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= 20; ++s) seeds.push_back(s);
+  return seeds;
+}
+
+struct WorkloadRecord {
+  std::string name;
+  double wall_s = 0.0;  ///< wall time of the best repetition
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;  ///< best across repetitions
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t frame_allocs = 0;  ///< non-zero only under OCB_SIM_STATS
+  std::uint64_t frame_reuses = 0;
+};
+
+// Repeats a workload until it has either burned ~0.5 s or done `max_reps`
+// runs, and keeps the best events/sec: the committed baseline should be the
+// machine's capability, not its worst scheduling hiccup (observed run-to-run
+// noise on shared machines is 10-15%, which eats into the 30% gate).
+template <typename Fn>
+WorkloadRecord best_of(const std::string& name, int max_reps, Fn&& once) {
+  WorkloadRecord w;
+  w.name = name;
+  double total = 0.0;
+  for (int rep = 0; rep < max_reps && (rep < 2 || total < 0.5); ++rep) {
+    const Clock::time_point t0 = Clock::now();
+    const WorkloadRecord r = once();
+    const double s = seconds_since(t0);
+    total += s;
+    const double rate = static_cast<double>(r.events) / s;
+    if (rate > w.events_per_sec) {
+      w.events_per_sec = rate;
+      w.wall_s = s;
+    }
+    w.events = r.events;
+    w.max_queue_depth = r.max_queue_depth;
+    w.frame_allocs = r.frame_allocs;
+    w.frame_reuses = r.frame_reuses;
+  }
+  return w;
+}
+
+WorkloadRecord run_ocbcast_workload(std::size_t lines) {
+  const int reps = lines >= 8192 ? 3 : 10;
+  return best_of("ocbcast_" + std::to_string(lines), reps, [lines] {
+    const harness::BcastRunResult r = run_broadcast(ocbcast_spec(lines));
+    WorkloadRecord w;
+    w.events = r.events;
+    w.max_queue_depth = r.max_queue_depth;
+    w.frame_allocs = r.frame_allocs;
+    w.frame_reuses = r.frame_reuses;
+    return w;
+  });
+}
+
+WorkloadRecord run_fig4_workload() {
+  return best_of("fig4_point_48cores", 3, [] {
+    const harness::ContentionResult r =
+        harness::measure_mpb_contention(scc::SccConfig{}, 48, 128, true, 4);
+    WorkloadRecord w;
+    w.events = r.events;
+    w.max_queue_depth = r.max_queue_depth;
+    return w;
+  });
+}
+
+WorkloadRecord run_fault_sweep_workload() {
+  return best_of("fault_sweep_20seeds", 1, [] {
+    const harness::FaultSweepResult r =
+        run_fault_sweep(fault_spec(), fault_seeds());
+    WorkloadRecord w;
+    for (const harness::FaultRunOutcome& o : r.outcomes) w.events += o.events;
+    return w;
+  });
+}
+
+// ---- JSON out / perf smoke --------------------------------------------
+
+void append_record(std::ostringstream& out, const WorkloadRecord& w,
+                   bool last) {
+  char rate[64];
+  std::snprintf(rate, sizeof(rate), "%.1f", w.events_per_sec);
+  char wall[64];
+  std::snprintf(wall, sizeof(wall), "%.6f", w.wall_s);
+  out << "    {\n"
+      << "      \"name\": \"" << w.name << "\",\n"
+      << "      \"wall_s\": " << wall << ",\n"
+      << "      \"events\": " << w.events << ",\n"
+      << "      \"events_per_sec\": " << rate << ",\n"
+      << "      \"max_queue_depth\": " << w.max_queue_depth << ",\n"
+      << "      \"frame_allocs\": " << w.frame_allocs << ",\n"
+      << "      \"frame_reuses\": " << w.frame_reuses << "\n"
+      << "    }" << (last ? "\n" : ",\n");
+}
+
+int json_out_mode(const std::string& path) {
+  std::vector<WorkloadRecord> records;
+  for (std::size_t lines : {96, 1024, 8192}) {
+    std::fprintf(stderr, "running ocbcast_%zu...\n", lines);
+    records.push_back(run_ocbcast_workload(lines));
+  }
+  std::fprintf(stderr, "running fig4_point_48cores...\n");
+  records.push_back(run_fig4_workload());
+  std::fprintf(stderr, "running fault_sweep_20seeds...\n");
+  records.push_back(run_fault_sweep_workload());
+
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"ocb-bench-simulator-speed-v1\",\n"
+      << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    append_record(out, records[i], i + 1 == records.size());
+  }
+  out << "  ]\n}\n";
+
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  file << out.str();
+  std::printf("%s", out.str().c_str());
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+// Minimal scan of our own --json_out format: the events_per_sec value of
+// the named workload. Returns a negative value if not found.
+double baseline_rate(const std::string& json, const std::string& workload) {
+  const std::size_t at = json.find("\"name\": \"" + workload + "\"");
+  if (at == std::string::npos) return -1.0;
+  const std::string key = "\"events_per_sec\": ";
+  const std::size_t k = json.find(key, at);
+  if (k == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + k + key.size(), nullptr);
+}
+
+int perf_smoke_mode(const std::string& baseline_path) {
+  std::ifstream file(baseline_path);
+  if (!file) {
+    std::fprintf(stderr, "perf-smoke: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  const std::string workload = "ocbcast_1024";
+  const double committed = baseline_rate(buf.str(), workload);
+  if (committed <= 0.0) {
+    std::fprintf(stderr, "perf-smoke: no %s events_per_sec in %s\n",
+                 workload.c_str(), baseline_path.c_str());
+    return 1;
+  }
+
+  const WorkloadRecord live = run_ocbcast_workload(1024);
+  const double floor = 0.7 * committed;
+  std::printf("perf-smoke %s: live %.3gM events/s vs committed %.3gM (floor %.3gM)\n",
+              workload.c_str(), live.events_per_sec / 1e6, committed / 1e6,
+              floor / 1e6);
+  if (live.events_per_sec < floor) {
+    std::fprintf(stderr,
+                 "perf-smoke FAILED: events/sec dropped more than 30%% below "
+                 "the committed baseline (%s). If the regression is "
+                 "intentional, regenerate the baseline with "
+                 "--json_out=results/bench_simulator_speed.json on an idle "
+                 "machine and commit it.\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::printf("perf-smoke PASSED\n");
+  return 0;
+}
+
+// ---- google-benchmark mode (default) ----------------------------------
 
 void bench_event_loop_throughput(benchmark::State& state) {
   // A 48-core OC-Bcast of the given size; report events/second.
   const auto lines = static_cast<std::size_t>(state.range(0));
   std::uint64_t events = 0;
+  harness::BcastRunResult last{};
   for (auto _ : state) {
-    harness::BcastRunSpec spec;
-    spec.message_bytes = lines * kCacheLineBytes;
-    spec.iterations = 1;
-    spec.warmup = 0;
-    spec.verify = false;
-    const harness::BcastRunResult r = run_broadcast(spec);
-    events += r.events;
+    last = run_broadcast(ocbcast_spec(lines));
+    events += last.events;
   }
   state.counters["events_per_sec"] =
       benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["events_per_run"] =
       static_cast<double>(events) / static_cast<double>(state.iterations());
+  state.counters["max_queue_depth"] = static_cast<double>(last.max_queue_depth);
+  // Frame-pool counters are all zero unless built with -DOCB_SIM_STATS=ON.
+  state.counters["frame_allocs"] = static_cast<double>(last.frame_allocs);
+  state.counters["frame_reuses"] = static_cast<double>(last.frame_reuses);
 }
 BENCHMARK(bench_event_loop_throughput)
     ->Arg(96)
@@ -48,16 +270,45 @@ BENCHMARK(bench_chip_construction)
     ->Name("simulator/chip_construction");
 
 void bench_contention_experiment(benchmark::State& state) {
+  std::uint64_t depth = 0;
   for (auto _ : state) {
     const auto r =
         harness::measure_mpb_contention(scc::SccConfig{}, 48, 128, true, 4);
     benchmark::DoNotOptimize(r.avg_us);
+    depth = r.max_queue_depth;
   }
+  state.counters["max_queue_depth"] = static_cast<double>(depth);
 }
 BENCHMARK(bench_contention_experiment)
     ->Unit(benchmark::kMillisecond)
     ->Name("simulator/fig4_point_48cores");
 
+void bench_fault_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto r = run_fault_sweep(fault_spec(), fault_seeds());
+    benchmark::DoNotOptimize(r.runs_all_correct);
+  }
+}
+BENCHMARK(bench_fault_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Name("simulator/fault_sweep_20seeds");
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      return json_out_mode(arg.substr(std::string("--json_out=").size()));
+    }
+    if (arg.rfind("--perf_smoke=", 0) == 0) {
+      return perf_smoke_mode(arg.substr(std::string("--perf_smoke=").size()));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/ocbcast.h"
 #include "fault/injector.h"
+#include "harness/parallel.h"
 
 namespace ocb::harness {
 
@@ -120,12 +121,20 @@ FaultRunOutcome run_fault_once(const FaultRunSpec& spec) {
 
 FaultSweepResult run_fault_sweep(FaultRunSpec spec,
                                  const std::vector<std::uint64_t>& seeds) {
+  // Every replication owns its chip and injector, so seeds are independent;
+  // fan out over the sweep pool. parallel_map returns in index (= seed)
+  // order, so the merged result is bit-identical to the serial loop.
+  std::vector<FaultRunOutcome> outcomes =
+      parallel_map(seeds.size(), [&](std::size_t i) {
+        FaultRunSpec s = spec;
+        s.plan.seed = seeds[i];
+        return run_fault_once(s);
+      });
+
   FaultSweepResult out;
-  for (const std::uint64_t seed : seeds) {
-    spec.plan.seed = seed;
-    FaultRunOutcome o = run_fault_once(spec);
+  out.seeds = seeds;
+  for (FaultRunOutcome& o : outcomes) {
     if (o.all_survivors_correct()) ++out.runs_all_correct;
-    out.seeds.push_back(seed);
     out.outcomes.push_back(std::move(o));
   }
   return out;

@@ -29,33 +29,40 @@ void fill_pattern(std::span<std::byte> region, std::uint64_t seed) {
 
 }  // namespace
 
-BcastRunResult run_broadcast(const BcastRunSpec& spec) {
-  OCB_REQUIRE(spec.message_bytes > 0, "empty message");
-  OCB_REQUIRE(spec.iterations >= 1, "need at least one measured iteration");
-  OCB_REQUIRE(spec.warmup >= 0, "negative warmup");
+BcastSession::BcastSession(const BcastRunSpec& spec)
+    : spec_(spec),
+      chip_(std::make_unique<scc::SccChip>(spec.config)),
+      algo_(core::make_broadcast(*chip_, spec.algorithm)) {
+  OCB_REQUIRE(spec_.message_bytes > 0, "empty message");
+  OCB_REQUIRE(spec_.iterations >= 1, "need at least one measured iteration");
+  OCB_REQUIRE(spec_.warmup >= 0, "negative warmup");
+}
 
-  scc::SccChip chip(spec.config);
-  std::unique_ptr<core::BroadcastAlgorithm> algo =
-      core::make_broadcast(chip, spec.algorithm);
-  const int parties = algo->parties();
-  const int total = spec.warmup + spec.iterations;
+BcastRunResult BcastSession::run() {
+  scc::SccChip& chip = *chip_;
+  const int parties = algo_->parties();
+  const int total = spec_.warmup + spec_.iterations;
 
   // One fresh slot per iteration so no simulated cache can serve the root's
-  // reads (§6.1); host seeding does not touch the simulated caches.
+  // reads (§6.1); host seeding does not touch the simulated caches. The
+  // cursor keeps later run() calls on fresh slots too.
   const std::size_t stride =
-      cache_lines_for(spec.message_bytes) * kCacheLineBytes;
-  OCB_REQUIRE(static_cast<std::size_t>(total) * stride <=
-                  spec.config.private_memory_limit / 4 * 3,
+      cache_lines_for(spec_.message_bytes) * kCacheLineBytes;
+  OCB_REQUIRE(static_cast<std::size_t>(next_slot_ + total) * stride <=
+                  spec_.config.private_memory_limit / 4 * 3,
               "iterations * message size exceed the private-memory budget; "
               "lower the iteration count for this size");
-  auto slot_offset = [stride](int iteration) {
-    return static_cast<std::size_t>(iteration) * stride;
+  const int base_slot = next_slot_;
+  next_slot_ += total;
+  auto slot_offset = [stride, base_slot](int iteration) {
+    return static_cast<std::size_t>(base_slot + iteration) * stride;
   };
 
   // Seed every slot of the root with a distinct pattern.
   for (int it = 0; it < total; ++it) {
-    fill_pattern(chip.memory(spec.root).host_bytes(slot_offset(it), spec.message_bytes),
-                 0xfeed0000u + static_cast<std::uint64_t>(it));
+    fill_pattern(
+        chip.memory(spec_.root).host_bytes(slot_offset(it), spec_.message_bytes),
+        0xfeed0000u + static_cast<std::uint64_t>(base_slot + it));
   }
 
   sim::Rendezvous rendezvous(chip.engine(), static_cast<std::size_t>(parties));
@@ -64,12 +71,13 @@ BcastRunResult run_broadcast(const BcastRunSpec& spec) {
       static_cast<std::size_t>(total),
       std::vector<sim::Time>(static_cast<std::size_t>(parties), 0));
 
+  core::BroadcastAlgorithm* algo = algo_.get();
   for (CoreId c = 0; c < parties; ++c) {
-    chip.spawn(c, [&, total](scc::Core& me) -> sim::Task<void> {
+    chip.spawn(c, [&, algo, total](scc::Core& me) -> sim::Task<void> {
       for (int it = 0; it < total; ++it) {
         co_await rendezvous.arrive();
         start[static_cast<std::size_t>(it)] = me.now();
-        co_await algo->run(me, spec.root, slot_offset(it), spec.message_bytes);
+        co_await algo->run(me, spec_.root, slot_offset(it), spec_.message_bytes);
         finish[static_cast<std::size_t>(it)][static_cast<std::size_t>(me.id())] =
             me.now();
       }
@@ -82,25 +90,31 @@ BcastRunResult run_broadcast(const BcastRunSpec& spec) {
                  " cores never returned (algorithm protocol bug)");
 
   BcastRunResult out;
-  out.events = run.events_processed;
+  // Engine counters are cumulative; report this call's delta.
+  out.events = run.events_processed - events_seen_;
+  events_seen_ = run.events_processed;
   out.simulated_ms = sim::to_seconds(run.end_time) * 1e3;
-  for (int it = spec.warmup; it < total; ++it) {
+  out.end_time = run.end_time;
+  out.max_queue_depth = run.max_queue_depth;
+  out.frame_allocs = run.frame_allocs;
+  out.frame_reuses = run.frame_reuses;
+  for (int it = spec_.warmup; it < total; ++it) {
     const auto i = static_cast<std::size_t>(it);
     const sim::Time last = *std::max_element(finish[i].begin(), finish[i].end());
     OCB_ENSURE(last >= start[i], "negative iteration interval");
     out.latency_us.add(sim::to_us(last - start[i]));
   }
   out.throughput_mbps =
-      static_cast<double>(spec.message_bytes) / out.latency_us.mean();
+      static_cast<double>(spec_.message_bytes) / out.latency_us.mean();
 
-  if (spec.verify) {
-    for (int it = spec.warmup; it < total; ++it) {
+  if (spec_.verify) {
+    for (int it = spec_.warmup; it < total; ++it) {
       const auto root_bytes =
-          chip.memory(spec.root).host_bytes(slot_offset(it), spec.message_bytes);
+          chip.memory(spec_.root).host_bytes(slot_offset(it), spec_.message_bytes);
       for (CoreId c = 0; c < parties; ++c) {
-        if (c == spec.root) continue;
+        if (c == spec_.root) continue;
         const auto got =
-            chip.memory(c).host_bytes(slot_offset(it), spec.message_bytes);
+            chip.memory(c).host_bytes(slot_offset(it), spec_.message_bytes);
         if (!std::equal(root_bytes.begin(), root_bytes.end(), got.begin())) {
           out.content_ok = false;
         }
@@ -108,6 +122,10 @@ BcastRunResult run_broadcast(const BcastRunSpec& spec) {
     }
   }
   return out;
+}
+
+BcastRunResult run_broadcast(const BcastRunSpec& spec) {
+  return BcastSession(spec).run();
 }
 
 std::pair<CoreId, CoreId> core_pair_at_mpb_distance(int d) {
@@ -195,6 +213,8 @@ ContentionResult measure_mpb_contention(const scc::SccConfig& config, int n_core
   OCB_ENSURE(run.completed(), "contention measurement stalled");
 
   ContentionResult out;
+  out.events = run.events_processed;
+  out.max_queue_depth = run.max_queue_depth;
   RunningStats all;
   for (const auto& s : per_core) {
     out.per_core_us.push_back(s.mean());

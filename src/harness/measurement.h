@@ -16,10 +16,12 @@
 //    from a broken protocol.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/stats.h"
 #include "core/bcast.h"
+#include "scc/chip.h"
 #include "scc/config.h"
 
 namespace ocb::harness {
@@ -38,11 +40,47 @@ struct BcastRunResult {
   SampleStats latency_us;   ///< per measured iteration
   double throughput_mbps = 0.0;  ///< message_bytes / mean latency
   bool content_ok = true;
-  std::uint64_t events = 0;
+  std::uint64_t events = 0;  ///< events processed by THIS run() call
   double simulated_ms = 0.0;
+  sim::Time end_time = 0;  ///< simulated clock when the queue drained
+  /// Engine-lifetime high-water mark of the event queue (sim::RunResult).
+  std::uint64_t max_queue_depth = 0;
+  /// Coroutine-frame allocator counters for this run() call; non-zero only
+  /// when built with OCB_SIM_STATS (see sim/frame_pool.h).
+  std::uint64_t frame_allocs = 0;
+  std::uint64_t frame_reuses = 0;
 };
 
-/// Runs `warmup + iterations` broadcasts on a fresh chip.
+/// Reusable measurement session: one chip and one algorithm instance
+/// serving any number of run() calls. Each call executes spec.warmup +
+/// spec.iterations broadcasts, advancing an internal private-memory slot
+/// cursor so later calls still honour the §6.1 "uncached offset" rule,
+/// and reports only its own event delta. Because a completed broadcast
+/// leaves all protocol state (flags, buffers) reset, a reused chip must
+/// produce the same latency samples as a fresh one — asserted by
+/// measurement_test.cpp — while skipping repeated chip construction.
+class BcastSession {
+ public:
+  explicit BcastSession(const BcastRunSpec& spec);
+
+  BcastSession(const BcastSession&) = delete;
+  BcastSession& operator=(const BcastSession&) = delete;
+
+  /// One warmup+measure block on the (possibly reused) chip.
+  BcastRunResult run();
+
+  scc::SccChip& chip() { return *chip_; }
+
+ private:
+  BcastRunSpec spec_;
+  std::unique_ptr<scc::SccChip> chip_;
+  std::unique_ptr<core::BroadcastAlgorithm> algo_;
+  int next_slot_ = 0;  ///< first unused iteration slot (offset cursor)
+  std::uint64_t events_seen_ = 0;  ///< cumulative engine count already reported
+};
+
+/// Runs `warmup + iterations` broadcasts on a fresh chip
+/// (single-use BcastSession).
 BcastRunResult run_broadcast(const BcastRunSpec& spec);
 
 /// Point-to-point RMA operation kinds, matching Figure 3's four panels.
@@ -70,6 +108,8 @@ CoreId core_at_mem_distance(int d);
 struct ContentionResult {
   double avg_us = 0.0;
   std::vector<double> per_core_us;  ///< one entry per participating core
+  std::uint64_t events = 0;         ///< engine events for the whole experiment
+  std::uint64_t max_queue_depth = 0;
 };
 
 /// `use_get`: each core repeatedly gets `lines` lines from core 0's MPB

@@ -1,0 +1,22 @@
+#include "harness/parallel.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace ocb::harness {
+
+unsigned sweep_threads() {
+  if (const char* env = std::getenv("OCB_SWEEP_THREADS")) {
+    try {
+      const long v = std::stol(env);
+      if (v >= 1) return static_cast<unsigned>(v);
+    } catch (...) {
+      // Malformed value: fall through to the hardware default.
+    }
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+}  // namespace ocb::harness

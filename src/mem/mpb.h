@@ -41,6 +41,13 @@ class MpbStorage {
   /// Trigger fired on every store to `line` (created on first use).
   sim::Trigger& line_trigger(std::size_t line);
 
+  /// True if a coroutine is currently parked on `line`'s trigger. Cheap
+  /// peek (no trigger creation); the quiescent-chip RMA fast path uses it
+  /// to prove a coalesced store cannot wake anyone mid-window.
+  bool line_has_waiters(std::size_t line) const {
+    return triggers_[line] != nullptr && triggers_[line]->waiter_count() > 0;
+  }
+
   /// Host-side zero-cost access for test setup/verification; does not fire
   /// triggers and takes no simulated time.
   CacheLine& host_line(std::size_t line);

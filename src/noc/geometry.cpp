@@ -1,39 +1,3 @@
+// Geometry helpers are header-inline (noc/geometry.h): they sit on the
+// simulator's per-event hot path. This TU intentionally left empty.
 #include "noc/geometry.h"
-
-#include <cstdlib>
-
-namespace ocb::noc {
-
-int tile_index(TileCoord t) {
-  OCB_REQUIRE(t.x >= 0 && t.x < kMeshCols && t.y >= 0 && t.y < kMeshRows,
-              "tile coordinate out of range");
-  return t.y * kMeshCols + t.x;
-}
-
-TileCoord tile_coord(int index) {
-  OCB_REQUIRE(index >= 0 && index < kNumTiles, "tile index out of range");
-  return TileCoord{index % kMeshCols, index / kMeshCols};
-}
-
-TileCoord tile_of_core(CoreId core) {
-  require_core(core);
-  return tile_coord(core / 2);
-}
-
-int tile_index_of_core(CoreId core) {
-  require_core(core);
-  return core / 2;
-}
-
-CoreId first_core_of_tile(int index) {
-  OCB_REQUIRE(index >= 0 && index < kNumTiles, "tile index out of range");
-  return index * 2;
-}
-
-int manhattan(TileCoord a, TileCoord b) {
-  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
-}
-
-int routers_traversed(TileCoord a, TileCoord b) { return manhattan(a, b) + 1; }
-
-}  // namespace ocb::noc

@@ -25,32 +25,57 @@ struct TileCoord {
   friend bool operator==(const TileCoord&, const TileCoord&) = default;
 };
 
+/// Validates a core id.
+inline void require_core(CoreId c) {
+  OCB_REQUIRE(c >= 0 && c < kNumCores, "core id out of range");
+}
+
+// These helpers sit on the per-event hot path of the simulator (every mesh
+// reservation computes tile indices), hence header-inline.
+
 /// Linear tile index in row-major order, 0..23.
-int tile_index(TileCoord t);
+inline int tile_index(TileCoord t) {
+  OCB_REQUIRE(t.x >= 0 && t.x < kMeshCols && t.y >= 0 && t.y < kMeshRows,
+              "tile coordinate out of range");
+  return t.y * kMeshCols + t.x;
+}
 
 /// Inverse of tile_index.
-TileCoord tile_coord(int index);
+inline TileCoord tile_coord(int index) {
+  OCB_REQUIRE(index >= 0 && index < kNumTiles, "tile index out of range");
+  return TileCoord{index % kMeshCols, index / kMeshCols};
+}
 
 /// Tile hosting a core.
-TileCoord tile_of_core(CoreId core);
+inline TileCoord tile_of_core(CoreId core) {
+  require_core(core);
+  return tile_coord(core / 2);
+}
 
 /// Linear tile index hosting a core.
-int tile_index_of_core(CoreId core);
+inline int tile_index_of_core(CoreId core) {
+  require_core(core);
+  return core / 2;
+}
 
 /// The two cores of a tile: {2*index, 2*index + 1}.
-CoreId first_core_of_tile(int tile_index);
+inline CoreId first_core_of_tile(int tile_index) {
+  OCB_REQUIRE(tile_index >= 0 && tile_index < kNumTiles, "tile index out of range");
+  return tile_index * 2;
+}
 
 /// Manhattan distance between two tiles.
-int manhattan(TileCoord a, TileCoord b);
+inline int manhattan(TileCoord a, TileCoord b) {
+  const int dx = a.x - b.x;
+  const int dy = a.y - b.y;
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
 
 /// Routers traversed by a packet from `a` to `b` (the model's d): one router
 /// per tile on the X-Y path, including source and destination routers; equals
 /// manhattan(a, b) + 1 (so 1 for a == b).
-int routers_traversed(TileCoord a, TileCoord b);
-
-/// Validates a core id.
-inline void require_core(CoreId c) {
-  OCB_REQUIRE(c >= 0 && c < kNumCores, "core id out of range");
+inline int routers_traversed(TileCoord a, TileCoord b) {
+  return manhattan(a, b) + 1;
 }
 
 }  // namespace ocb::noc

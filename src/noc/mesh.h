@@ -56,6 +56,11 @@ class Mesh {
 
   sim::Duration l_hop() const { return l_hop_; }
 
+  /// Directed links the precomputed X-Y route crosses (0 iff src == dst).
+  int route_links(TileCoord src, TileCoord dst) const {
+    return static_cast<int>(routes_[tile_index(src)][tile_index(dst)].length);
+  }
+
   /// Total occupancy ever reserved on a directed link (for tests/reports).
   sim::Duration link_total_occupancy(LinkId link) const;
 

@@ -1,6 +1,7 @@
 #include "rma/rma.h"
 
 #include "common/require.h"
+#include "scc/bulk.h"
 #include "scc/chip.h"
 
 namespace ocb::rma {
@@ -18,11 +19,24 @@ void require_mem_offset(std::size_t offset) {
 
 }  // namespace
 
+// Each op takes the coalesced fast path (scc/bulk.h) when the chip allows
+// it — timing-identical by construction, asserted by
+// tests/coalescing_equivalence_test.cpp — and otherwise the per-line loop,
+// which is the reference semantics (and the only path that fault hooks,
+// trace sinks, and jitter ever see).
+
 sim::Task<void> put_mpb_to_mpb(scc::Core& self, MpbAddr dst, std::size_t src_line,
                                std::size_t lines) {
   require_mpb_range(src_line, lines);
   require_mpb_range(dst.line, lines);
-  co_await self.busy(self.chip().config().o_put_mpb);
+  scc::SccChip& chip = self.chip();
+  if (chip.coalescing_active()) {
+    co_await chip.bulk_op(self.id()).run(scc::BulkKind::kPutMpbToMpb,
+                                         chip.config().o_put_mpb, dst.owner,
+                                         dst.line, src_line, lines);
+    co_return;
+  }
+  co_await self.busy(chip.config().o_put_mpb);
   for (std::size_t i = 0; i < lines; ++i) {
     CacheLine cl;
     co_await self.mpb_read_line(self.id(), src_line + i, cl);
@@ -34,7 +48,14 @@ sim::Task<void> put_mem_to_mpb(scc::Core& self, MpbAddr dst, std::size_t src_off
                                std::size_t lines) {
   require_mem_offset(src_offset);
   require_mpb_range(dst.line, lines);
-  co_await self.busy(self.chip().config().o_put_mem);
+  scc::SccChip& chip = self.chip();
+  if (chip.coalescing_active()) {
+    co_await chip.bulk_op(self.id()).run(scc::BulkKind::kPutMemToMpb,
+                                         chip.config().o_put_mem, dst.owner,
+                                         dst.line, src_offset, lines);
+    co_return;
+  }
+  co_await self.busy(chip.config().o_put_mem);
   for (std::size_t i = 0; i < lines; ++i) {
     CacheLine cl;
     co_await self.mem_read_line(src_offset + i * kCacheLineBytes, cl);
@@ -46,7 +67,14 @@ sim::Task<void> get_mpb_to_mpb(scc::Core& self, std::size_t dst_line, MpbAddr sr
                                std::size_t lines) {
   require_mpb_range(src.line, lines);
   require_mpb_range(dst_line, lines);
-  co_await self.busy(self.chip().config().o_get_mpb);
+  scc::SccChip& chip = self.chip();
+  if (chip.coalescing_active()) {
+    co_await chip.bulk_op(self.id()).run(scc::BulkKind::kGetMpbToMpb,
+                                         chip.config().o_get_mpb, src.owner,
+                                         src.line, dst_line, lines);
+    co_return;
+  }
+  co_await self.busy(chip.config().o_get_mpb);
   for (std::size_t i = 0; i < lines; ++i) {
     CacheLine cl;
     co_await self.mpb_read_line(src.owner, src.line + i, cl);
@@ -58,7 +86,14 @@ sim::Task<void> get_mpb_to_mem(scc::Core& self, std::size_t dst_offset, MpbAddr 
                                std::size_t lines) {
   require_mem_offset(dst_offset);
   require_mpb_range(src.line, lines);
-  co_await self.busy(self.chip().config().o_get_mem);
+  scc::SccChip& chip = self.chip();
+  if (chip.coalescing_active()) {
+    co_await chip.bulk_op(self.id()).run(scc::BulkKind::kGetMpbToMem,
+                                         chip.config().o_get_mem, src.owner,
+                                         src.line, dst_offset, lines);
+    co_return;
+  }
+  co_await self.busy(chip.config().o_get_mem);
   for (std::size_t i = 0; i < lines; ++i) {
     CacheLine cl;
     co_await self.mpb_read_line(src.owner, src.line + i, cl);

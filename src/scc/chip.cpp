@@ -1,11 +1,13 @@
 #include "scc/chip.h"
 
 #include "common/require.h"
+#include "scc/bulk.h"
 
 namespace ocb::scc {
 
 SccChip::SccChip(const SccConfig& config) : config_(config) {
   config_.validate();
+  refresh_coalescing();
   mesh_ = std::make_unique<noc::Mesh>(engine_, config_.l_hop, config_.link_occupancy);
   for (int t = 0; t < kNumTiles; ++t) {
     mpb_ports_[static_cast<std::size_t>(t)] =
@@ -23,9 +25,18 @@ SccChip::SccChip(const SccConfig& config) : config_(config) {
   }
 }
 
+SccChip::~SccChip() = default;
+
 Core& SccChip::core(CoreId id) {
   noc::require_core(id);
   return *cores_[static_cast<std::size_t>(id)];
+}
+
+BulkOp& SccChip::bulk_op(CoreId id) {
+  noc::require_core(id);
+  auto& slot = bulk_ops_[static_cast<std::size_t>(id)];
+  if (!slot) slot = std::make_unique<BulkOp>(core(id));
+  return *slot;
 }
 
 mem::MpbStorage& SccChip::mpb(CoreId id) {
@@ -57,11 +68,15 @@ sim::Task<void> SccChip::invoke_program(
   co_await program(core);
 }
 
+std::string SccChip::describe_core(void* core) {
+  Core& c = *static_cast<Core*>(core);
+  return "core " + std::to_string(c.id()) + ": " + c.wait_note();
+}
+
 void SccChip::spawn(CoreId id, std::function<sim::Task<void>(Core&)> program) {
   OCB_REQUIRE(static_cast<bool>(program), "empty core program");
-  engine_.spawn(invoke_program(std::move(program), core(id)), [this, id] {
-    return "core " + std::to_string(id) + ": " + core(id).wait_note();
-  });
+  Core& c = core(id);
+  engine_.spawn(invoke_program(std::move(program), c), &SccChip::describe_core, &c);
 }
 
 sim::RunResult SccChip::run(std::uint64_t max_events) {

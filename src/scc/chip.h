@@ -31,9 +31,12 @@
 
 namespace ocb::scc {
 
+class BulkOp;
+
 class SccChip {
  public:
   explicit SccChip(const SccConfig& config = SccConfig{});
+  ~SccChip();
 
   SccChip(const SccChip&) = delete;
   SccChip& operator=(const SccChip&) = delete;
@@ -59,7 +62,10 @@ class SccChip {
 
   /// Installs (or clears, with an empty function) a per-transaction trace
   /// sink; see scc/trace.h.
-  void set_trace_sink(TraceSink sink) { trace_sink_ = std::move(sink); }
+  void set_trace_sink(TraceSink sink) {
+    trace_sink_ = std::move(sink);
+    refresh_coalescing();
+  }
   bool tracing() const { return static_cast<bool>(trace_sink_); }
   /// Emits one event (no-op unless tracing). Called by Core.
   void trace(const TraceEvent& event) {
@@ -69,12 +75,30 @@ class SccChip {
   /// Installs (or clears, with nullptr) a fault-injection hook consulted at
   /// every line transaction; see scc/fault_hook.h. Non-owning — the hook
   /// must outlive the simulation.
-  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  void set_fault_hook(FaultHook* hook) {
+    fault_hook_ = hook;
+    refresh_coalescing();
+  }
   FaultHook* fault_hook() const { return fault_hook_; }
+
+  /// True when multi-line RMA ops may take the coalesced fast path (see
+  /// DESIGN.md "Fast-path transaction coalescing" for the bypass
+  /// conditions). Re-evaluated whenever a hook or sink is (un)installed.
+  bool coalescing_active() const { return coalescing_active_; }
+
+  /// Per-core reusable fast-path state machine (a core has at most one
+  /// RMA op in flight).
+  BulkOp& bulk_op(CoreId id);
 
  private:
   static sim::Task<void> invoke_program(
       std::function<sim::Task<void>(Core&)> program, Core& core);
+  static std::string describe_core(void* core);
+
+  void refresh_coalescing() {
+    coalescing_active_ = config_.coalescing && config_.jitter == 0 &&
+                         fault_hook_ == nullptr && !trace_sink_;
+  }
 
   SccConfig config_;
   sim::Engine engine_;
@@ -85,8 +109,10 @@ class SccChip {
   std::array<std::unique_ptr<sim::ArbitratedServer>, noc::kNumMemoryControllers>
       mc_ports_;
   std::array<std::unique_ptr<Core>, kNumCores> cores_;
+  std::array<std::unique_ptr<BulkOp>, kNumCores> bulk_ops_;
   TraceSink trace_sink_;
   FaultHook* fault_hook_ = nullptr;
+  bool coalescing_active_ = false;
 };
 
 }  // namespace ocb::scc

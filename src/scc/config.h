@@ -87,6 +87,15 @@ struct SccConfig {
   /// fixed-priority arbitration (requester core id = priority), which is
   /// what makes heavy contention hit cores unequally (Fig. 4's spread).
   sim::Arbitration arbitration = sim::Arbitration::kPositional;
+  /// Master switch for the coalesced RMA fast path (scc/bulk.h): multi-line
+  /// put/get computed closed-form from the Fig. 2 cost model instead of one
+  /// coroutine round trip per line. Timing-neutral by construction — the
+  /// per-line path is used automatically whenever a fault hook, trace sink,
+  /// or jitter is active (see DESIGN.md "Fast-path transaction
+  /// coalescing"); turning this off forces the per-line path everywhere,
+  /// which must produce identical timestamps (tests/coalescing_equivalence
+  /// asserts it).
+  bool coalescing = true;
   /// Max uniform jitter added to each core-side overhead (0 = none).
   sim::Duration jitter = 0;
   /// Seed for all per-core RNG streams (payloads, jitter).

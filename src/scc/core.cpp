@@ -1,34 +1,115 @@
 #include "scc/core.h"
 
+#include <algorithm>
+
 #include "common/require.h"
 #include "scc/chip.h"
 
 namespace ocb::scc {
 
+void DataCache::ensure_storage() {
+  if (!table_.empty()) return;
+  key_.resize(capacity_);
+  prev_.resize(capacity_);
+  next_.resize(capacity_);
+  // Power-of-two table at <= 50% load so linear probes stay short.
+  std::size_t table_size = 16;
+  while (table_size < capacity_ * 2) table_size *= 2;
+  table_.assign(table_size, kNil);
+  mask_ = table_size - 1;
+}
+
+std::size_t DataCache::ideal_index(std::size_t key) const {
+  // Fibonacci-style multiplicative mix; offsets are line-aligned so low
+  // bits alone carry no entropy.
+  return (key * 0x9e3779b97f4a7c15ULL >> 17) & mask_;
+}
+
+std::uint32_t DataCache::find_slot(std::size_t key) const {
+  if (table_.empty()) return kNil;
+  for (std::size_t i = ideal_index(key);; i = (i + 1) & mask_) {
+    const std::uint32_t slot = table_[i];
+    if (slot == kNil) return kNil;
+    if (key_[slot] == key) return slot;
+  }
+}
+
+void DataCache::table_insert(std::size_t key, std::uint32_t slot) {
+  std::size_t i = ideal_index(key);
+  while (table_[i] != kNil) i = (i + 1) & mask_;
+  table_[i] = slot;
+}
+
+void DataCache::table_erase(std::size_t key) {
+  std::size_t i = ideal_index(key);
+  while (key_[table_[i]] != key) i = (i + 1) & mask_;
+  // Backward-shift deletion keeps probe chains gap-free without tombstones.
+  for (std::size_t j = (i + 1) & mask_;; j = (j + 1) & mask_) {
+    const std::uint32_t slot = table_[j];
+    if (slot == kNil) break;
+    const std::size_t home = ideal_index(key_[slot]);
+    if (((j - home) & mask_) >= ((j - i) & mask_)) {
+      table_[i] = slot;
+      i = j;
+    }
+  }
+  table_[i] = kNil;
+}
+
+void DataCache::lru_detach(std::uint32_t slot) {
+  const std::uint32_t p = prev_[slot];
+  const std::uint32_t n = next_[slot];
+  if (p != kNil) next_[p] = n; else head_ = n;
+  if (n != kNil) prev_[n] = p; else tail_ = p;
+}
+
+void DataCache::lru_push_front(std::uint32_t slot) {
+  prev_[slot] = kNil;
+  next_[slot] = head_;
+  if (head_ != kNil) prev_[head_] = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
 bool DataCache::lookup(std::size_t offset) {
-  auto it = map_.find(offset);
-  if (it == map_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  const std::uint32_t slot = find_slot(offset);
+  if (slot == kNil) return false;
+  if (head_ != slot) {
+    lru_detach(slot);
+    lru_push_front(slot);
+  }
   return true;
 }
 
 void DataCache::insert(std::size_t offset) {
-  auto it = map_.find(offset);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (capacity_ == 0) return;  // degenerate: everything evicts immediately
+  ensure_storage();
+  std::uint32_t slot = find_slot(offset);
+  if (slot != kNil) {  // refresh, not duplicate
+    if (head_ != slot) {
+      lru_detach(slot);
+      lru_push_front(slot);
+    }
     return;
   }
-  lru_.push_front(offset);
-  map_.emplace(offset, lru_.begin());
-  while (map_.size() > capacity_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+  if (size_ == capacity_) {  // evict least-recently-used
+    slot = tail_;
+    lru_detach(slot);
+    table_erase(key_[slot]);
+  } else {
+    slot = static_cast<std::uint32_t>(size_);
+    ++size_;
   }
+  key_[slot] = offset;
+  table_insert(offset, slot);
+  lru_push_front(slot);
 }
 
 void DataCache::clear() {
-  lru_.clear();
-  map_.clear();
+  size_ = 0;
+  head_ = kNil;
+  tail_ = kNil;
+  if (!table_.empty()) std::fill(table_.begin(), table_.end(), kNil);
 }
 
 Core::Core(SccChip& chip, CoreId id)

@@ -10,9 +10,9 @@
 // formulas of Figure 2 (see scc/config.h for the parameter decomposition).
 #pragma once
 
-#include <list>
+#include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -27,6 +27,13 @@ class SccChip;
 
 /// Write-allocate LRU set of private-memory line offsets (models the data
 /// cache keeping a just-transferred message warm; paper §5.2.2).
+///
+/// Flat storage: an intrusive doubly-linked LRU over index slots plus an
+/// open-addressing (linear-probe, backward-shift-delete) hash table. Every
+/// simulated private-memory line transaction goes through here, so the
+/// structure must not allocate per entry — node-based list/map churn and
+/// rehashing used to dominate large-broadcast simulation profiles. Arrays
+/// are allocated lazily on first insert: idle cores' caches cost nothing.
 class DataCache {
  public:
   explicit DataCache(std::size_t capacity_lines) : capacity_(capacity_lines) {}
@@ -38,12 +45,29 @@ class DataCache {
   void insert(std::size_t offset);
 
   void clear();
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const { return size_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  void ensure_storage();
+  std::size_t ideal_index(std::size_t key) const;
+  /// Probe position holding `key`'s slot, or the table's npos sentinel.
+  std::uint32_t find_slot(std::size_t key) const;
+  void table_insert(std::size_t key, std::uint32_t slot);
+  void table_erase(std::size_t key);
+  void lru_detach(std::uint32_t slot);
+  void lru_push_front(std::uint32_t slot);
+
   std::size_t capacity_;
-  std::list<std::size_t> lru_;  // front = most recent
-  std::unordered_map<std::size_t, std::list<std::size_t>::iterator> map_;
+  std::size_t size_ = 0;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t mask_ = 0;              // table size - 1 (power of two)
+  std::vector<std::size_t> key_;      // per LRU slot
+  std::vector<std::uint32_t> prev_;   // per LRU slot
+  std::vector<std::uint32_t> next_;   // per LRU slot
+  std::vector<std::uint32_t> table_;  // probe position -> slot or kNil
 };
 
 class Core {
@@ -55,6 +79,8 @@ class Core {
 
   CoreId id() const { return id_; }
   noc::TileCoord tile() const { return tile_; }
+  /// Tile the core's memory controller attaches to.
+  noc::TileCoord mc_tile() const { return mc_tile_; }
   /// Routers between this core and its memory controller (model's d^mem).
   int mem_distance() const { return mem_distance_; }
   /// Routers between this core and core `other`'s MPB (model's d^mpb).

@@ -6,6 +6,12 @@
 // coroutines (sim::Task) spawned onto the engine; awaitables suspend them
 // and events resume them at computed times.
 //
+// The queue is a hand-rolled 4-ary implicit heap over 32-byte events: the
+// insertion pattern is near-monotone (most events land close after now),
+// so the shallower, cache-denser heap beats std::priority_queue's binary
+// layout on the hot pop/push cycle. Pop order is identical — (t, seq) is a
+// total order, so no tie can be resolved differently.
+//
 // Ownership model: Engine::spawn wraps each top-level Task in a root frame
 // the engine owns. Destroying the engine destroys every root frame, which
 // transitively frees any suspended nested call chain (see task.h), so a
@@ -15,11 +21,10 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/frame_pool.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -55,6 +60,12 @@ struct RootPromise {
 
   void return_void() noexcept {}
   void unhandled_exception() noexcept;
+
+  static void* operator new(std::size_t bytes) { return FramePool::allocate(bytes); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FramePool::deallocate(p);
+  }
 };
 
 }  // namespace detail
@@ -67,6 +78,14 @@ struct RunResult {
   /// process was deliberately halted (fault injection).
   std::size_t stalled_processes = 0;
   Time end_time = 0;
+  /// Deepest the event queue ever got (engine lifetime): a queue-pressure
+  /// regression shows up here rather than being inferred from wall time.
+  std::uint64_t max_queue_depth = 0;
+  /// Coroutine-frame allocation counters for this run (deltas; non-zero
+  /// only when built with OCB_SIM_STATS): frames taken from the system
+  /// allocator vs. recycled through the sim::FramePool free lists.
+  std::uint64_t frame_allocs = 0;
+  std::uint64_t frame_reuses = 0;
   /// One entry per stalled process: its spawn label plus the wait reason it
   /// last reported (see Engine::spawn), e.g. "core 12: flag-wait mpb[7]:3".
   /// Makes fault-induced hangs diagnosable without a debugger.
@@ -93,13 +112,21 @@ class Engine {
   void schedule_fn(Time t, void (*fn)(void*), void* ctx);
 
   /// Starts a top-level process at the current simulated time. `describe`
-  /// (optional) is invoked lazily when the process is still unfinished at
-  /// the end of a run(), to fill RunResult::stalled_details — it should
-  /// report who the process is and what it is currently waiting for.
-  void spawn(Task<void> task, std::function<std::string()> describe = {});
+  /// (optional, with its context pointer) is invoked lazily when the
+  /// process is still unfinished at the end of a run(), to fill
+  /// RunResult::stalled_details — it should report who the process is and
+  /// what it is currently waiting for. A plain function pointer, not a
+  /// std::function: spawn sits on the sweep hot path (one call per core
+  /// per chip) and must not allocate per process.
+  void spawn(Task<void> task, std::string (*describe)(void*) = nullptr,
+             void* describe_ctx = nullptr);
 
   /// Number of spawned processes that have not yet finished.
   std::size_t live_processes() const { return live_; }
+
+  /// Events currently queued. The closed-form RMA fast path uses this to
+  /// detect a quiescent machine (nothing can interleave with the op).
+  std::size_t queue_size() const { return heap_.size(); }
 
   /// Awaitable: suspends the caller for `d` simulated time.
   auto sleep(Duration d) {
@@ -132,37 +159,40 @@ class Engine {
  private:
   friend struct detail::RootPromise;
 
+  /// 32 bytes; fn == nullptr means `ptr` is a coroutine to resume, else
+  /// fn(ptr) is called.
   struct Event {
     Time t;
     std::uint64_t seq;
-    std::coroutine_handle<> h{};   // resume if set ...
-    void (*fn)(void*) = nullptr;   // ... else call fn(ctx)
-    void* ctx = nullptr;
-  };
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+    void* ptr;
+    void (*fn)(void*);
   };
 
   struct Root {
     std::coroutine_handle<detail::RootPromise> handle;
-    std::function<std::string()> describe;  // may be empty
+    std::string (*describe)(void*) = nullptr;
+    void* describe_ctx = nullptr;
   };
 
   static detail::RootTask make_root(Task<void> task);
+
+  static bool before(const Event& a, const Event& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+  void heap_push(const Event& e);
+  Event heap_pop();
 
   void note_process_finished() { --live_; }
   void note_process_error(std::exception_ptr e) {
     if (!first_error_) first_error_ = e;
   }
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<Event> heap_;
   std::vector<Root> roots_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t max_queue_depth_ = 0;
   std::size_t live_ = 0;
   std::exception_ptr first_error_{};
 };

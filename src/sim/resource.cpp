@@ -4,19 +4,25 @@
 
 namespace ocb::sim {
 
-void ArbitratedServer::enqueue(std::coroutine_handle<> h, Duration service,
-                               int priority) {
-  Waiter w{h, service, priority, next_seq_++};
+void ArbitratedServer::enqueue(const Waiter& w) {
+  Waiter queued = w;
+  queued.seq = next_seq_++;
   if (!busy_) {
-    begin_service(w);
+    begin_service(queued);
   } else {
-    queue_.push_back(w);
+    queue_.push_back(queued);
   }
+}
+
+void ArbitratedServer::acquire(Duration service, int priority, void (*cb)(void*),
+                               void* ctx) {
+  OCB_REQUIRE(cb != nullptr, "null completion callback");
+  enqueue(Waiter{{}, cb, ctx, service, priority, 0});
 }
 
 void ArbitratedServer::begin_service(const Waiter& w) {
   busy_ = true;
-  in_service_ = w.h;
+  in_service_ = w;
   busy_time_ += w.service;
   engine_->schedule_fn(engine_->now() + w.service, &complete_trampoline, this);
 }
@@ -43,7 +49,7 @@ std::size_t ArbitratedServer::pick_next() const {
 
 void ArbitratedServer::on_complete() {
   ++total_served_;
-  std::coroutine_handle<> done = std::exchange(in_service_, {});
+  const Waiter done = std::exchange(in_service_, Waiter{});
   if (queue_.empty()) {
     busy_ = false;
   } else {
@@ -52,9 +58,13 @@ void ArbitratedServer::on_complete() {
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
     begin_service(next);
   }
-  // Resume the finished requester last so a synchronous re-request from it
+  // Notify the finished requester last so a synchronous re-request from it
   // queues behind the service we just started.
-  done.resume();
+  if (done.cb != nullptr) {
+    done.cb(done.ctx);
+  } else {
+    done.h.resume();
+  }
 }
 
 }  // namespace ocb::sim

@@ -67,11 +67,27 @@ class ArbitratedServer {
       int priority;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        server->enqueue(h, service, priority);
+        server->enqueue(Waiter{h, nullptr, nullptr, service, priority, 0});
       }
       void await_resume() const noexcept {}
     };
     return Awaiter{this, service, priority};
+  }
+
+  /// Callback flavour of use(): joins the same queue under the same
+  /// arbitration, but invokes `cb(ctx)` at service completion instead of
+  /// resuming a coroutine. The closed-form RMA fast path (scc/bulk.h) uses
+  /// this so a coalesced transfer contends for ports exactly like the
+  /// per-line path — byte-identical queueing, no coroutine frame.
+  void acquire(Duration service, int priority, void (*cb)(void*), void* ctx);
+
+  /// Stats-only booking of one uncontended service (server must be idle
+  /// with an empty queue): the quiescent-chip fast path computes service
+  /// completion arithmetically and records the hold here so total_served /
+  /// busy_time match the per-line path.
+  void book_uncontended(Duration service) {
+    ++total_served_;
+    busy_time_ += service;
   }
 
   bool busy() const { return busy_; }
@@ -81,13 +97,15 @@ class ArbitratedServer {
 
  private:
   struct Waiter {
-    std::coroutine_handle<> h;
-    Duration service;
-    int priority;
-    std::uint64_t seq;
+    std::coroutine_handle<> h{};   // resume if set ...
+    void (*cb)(void*) = nullptr;   // ... else call cb(ctx)
+    void* ctx = nullptr;
+    Duration service = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;
   };
 
-  void enqueue(std::coroutine_handle<> h, Duration service, int priority);
+  void enqueue(const Waiter& w);
   void begin_service(const Waiter& w);
   void on_complete();
   static void complete_trampoline(void* self) {
@@ -98,7 +116,7 @@ class ArbitratedServer {
   Engine* engine_;
   Arbitration policy_;
   bool busy_ = false;
-  std::coroutine_handle<> in_service_{};
+  Waiter in_service_{};
   std::vector<Waiter> queue_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t total_served_ = 0;

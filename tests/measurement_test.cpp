@@ -45,6 +45,34 @@ TEST(RunBroadcast, IterationsAreIndependent) {
               0.02 * r.latency_us.mean());
 }
 
+TEST(BcastSession, ReuseMatchesFreshChip) {
+  // A session reusing one chip across run() calls must reproduce the
+  // fresh-chip samples exactly: a completed broadcast leaves no protocol
+  // state behind, and the slot cursor keeps reads uncached.
+  BcastRunSpec spec;
+  spec.message_bytes = 70 * 32;
+  spec.iterations = 3;
+  spec.warmup = 1;
+  const BcastRunResult fresh = run_broadcast(spec);
+  BcastSession session(spec);
+  const BcastRunResult first = session.run();
+  const BcastRunResult second = session.run();
+  ASSERT_EQ(first.latency_us.count(), fresh.latency_us.count());
+  ASSERT_EQ(second.latency_us.count(), fresh.latency_us.count());
+  for (std::size_t i = 0; i < fresh.latency_us.count(); ++i) {
+    EXPECT_DOUBLE_EQ(first.latency_us.samples()[i],
+                     fresh.latency_us.samples()[i]);
+    EXPECT_DOUBLE_EQ(second.latency_us.samples()[i],
+                     fresh.latency_us.samples()[i]);
+  }
+  EXPECT_TRUE(first.content_ok);
+  EXPECT_TRUE(second.content_ok);
+  // The simulated clock keeps advancing across calls on one chip, while
+  // event counts are per-call deltas.
+  EXPECT_GT(second.end_time, first.end_time);
+  EXPECT_EQ(first.events, fresh.events);
+}
+
 TEST(RunBroadcast, AllAlgorithmsVerify) {
   for (core::BcastKind kind :
        {core::BcastKind::kOcBcast, core::BcastKind::kBinomial,

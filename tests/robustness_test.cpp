@@ -15,6 +15,7 @@
 
 #include "core/ocreduce.h"
 #include "harness/measurement.h"
+#include "harness/parallel.h"
 #include "rma/barrier.h"
 
 namespace ocb {
@@ -38,22 +39,40 @@ harness::BcastRunResult jittered_run(core::BcastKind kind, int k,
 using Case = std::tuple<int, std::uint64_t>;  // algorithm index, seed
 class JitterSweep : public ::testing::TestWithParam<Case> {};
 
+struct SweepConfig {
+  core::BcastKind kind;
+  int k;
+};
+constexpr SweepConfig kSweepConfigs[] = {
+    {core::BcastKind::kOcBcast, 2},   {core::BcastKind::kOcBcast, 7},
+    {core::BcastKind::kOcBcast, 47},  {core::BcastKind::kBinomial, 0},
+    {core::BcastKind::kScatterAllgather, 0},
+    {core::BcastKind::kOneSidedScatterAllgather, 0},
+    {core::BcastKind::kFtOcBcast, 7},
+};
+constexpr std::uint64_t kSweepSeeds[] = {1, 2, 3, 4, 5};
+
+// All (algorithm, seed) combos are independent chips; precompute the whole
+// grid on the sweep pool the first time any combo is requested, then let
+// each TEST_P assert on its slice.
+const harness::BcastRunResult& sweep_result(int algo, std::uint64_t seed) {
+  static const std::vector<harness::BcastRunResult> grid =
+      harness::parallel_map(
+          std::size(kSweepConfigs) * std::size(kSweepSeeds),
+          [](std::size_t i) {
+            const SweepConfig& cfg = kSweepConfigs[i / std::size(kSweepSeeds)];
+            const std::uint64_t s = kSweepSeeds[i % std::size(kSweepSeeds)];
+            return jittered_run(cfg.kind, cfg.k == 0 ? 7 : cfg.k,
+                                /*lines=*/210, s);
+          });
+  const std::size_t seed_idx = static_cast<std::size_t>(seed - kSweepSeeds[0]);
+  return grid[static_cast<std::size_t>(algo) * std::size(kSweepSeeds) +
+              seed_idx];
+}
+
 TEST_P(JitterSweep, ContentSurvivesScheduleNoise) {
   const auto [algo, seed] = GetParam();
-  struct Config {
-    core::BcastKind kind;
-    int k;
-  };
-  constexpr Config kConfigs[] = {
-      {core::BcastKind::kOcBcast, 2},   {core::BcastKind::kOcBcast, 7},
-      {core::BcastKind::kOcBcast, 47},  {core::BcastKind::kBinomial, 0},
-      {core::BcastKind::kScatterAllgather, 0},
-      {core::BcastKind::kOneSidedScatterAllgather, 0},
-      {core::BcastKind::kFtOcBcast, 7},
-  };
-  const Config& cfg = kConfigs[algo];
-  const harness::BcastRunResult r =
-      jittered_run(cfg.kind, cfg.k == 0 ? 7 : cfg.k, /*lines=*/210, seed);
+  const harness::BcastRunResult& r = sweep_result(algo, seed);
   EXPECT_TRUE(r.content_ok);
   EXPECT_GT(r.latency_us.mean(), 0.0);
 }
