@@ -17,16 +17,21 @@ namespace {
 
 using namespace ocb;
 
-core::BcastSpec spec_for(int series) {
-  core::BcastSpec spec;
-  if (series < 3) {
-    constexpr int kFanouts[] = {2, 7, 47};
-    spec.kind = core::BcastKind::kOcBcast;
-    spec.k = kFanouts[series];
-  } else {
-    spec.kind = core::BcastKind::kScatterAllgather;
-  }
-  return spec;
+// Registry-keyed series: (name, params) instead of concrete spec structs.
+struct SeriesSpec {
+  std::string name;
+  coll::Params params;
+  std::string label;
+};
+
+const SeriesSpec& spec_for(int series) {
+  static const SeriesSpec specs[] = {
+      {"ocbcast", {.k = 2}, "oc-bcast k=2"},
+      {"ocbcast", {.k = 7}, "oc-bcast k=7"},
+      {"ocbcast", {.k = 47}, "oc-bcast k=47"},
+      {"scatter-allgather", {}, "scatter-allgather"},
+  };
+  return specs[series];
 }
 
 const harness::SeriesPoint& point_for(int series, std::size_t lines) {
@@ -35,7 +40,8 @@ const harness::SeriesPoint& point_for(int series, std::size_t lines) {
   auto it = cache.find(key);
   if (it == cache.end()) {
     harness::BcastRunSpec run;
-    run.algorithm = spec_for(series);
+    run.algorithm_name = spec_for(series).name;
+    run.params = spec_for(series).params;
     run.message_bytes = lines * kCacheLineBytes;
     run.iterations = harness::default_iterations(lines);
     const harness::BcastRunResult r = run_broadcast(run);
@@ -56,14 +62,14 @@ void bench_point(benchmark::State& state) {
     state.counters["throughput_mbps"] = p.throughput_mbps;
     state.counters["verified"] = p.content_ok ? 1 : 0;
   }
-  state.SetLabel(core::spec_label(spec_for(series)));
+  state.SetLabel(spec_for(series).label);
 }
 
 void print_tables() {
   std::vector<harness::Series> all;
   for (int s = 0; s < 4; ++s) {
     harness::Series series;
-    series.label = core::spec_label(spec_for(s));
+    series.label = spec_for(s).label;
     for (std::size_t lines : harness::large_message_sizes()) {
       series.points.push_back(point_for(s, lines));
     }

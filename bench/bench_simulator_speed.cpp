@@ -115,6 +115,23 @@ WorkloadRecord run_ocbcast_workload(std::size_t lines) {
   });
 }
 
+// The same 1024-line broadcast with the ocb::check race checker installed:
+// the per-line observer path plus vector-clock bookkeeping, i.e. the cost
+// of running "checked". Compare against ocbcast_1024 to see the overhead.
+WorkloadRecord run_ocbcast_checked_workload() {
+  return best_of("ocbcast_1024_checked", 10, [] {
+    harness::BcastRunSpec spec = ocbcast_spec(1024);
+    spec.check = true;
+    const harness::BcastRunResult r = run_broadcast(spec);
+    WorkloadRecord w;
+    w.events = r.events;
+    w.max_queue_depth = r.max_queue_depth;
+    w.frame_allocs = r.frame_allocs;
+    w.frame_reuses = r.frame_reuses;
+    return w;
+  });
+}
+
 WorkloadRecord run_fig4_workload() {
   return best_of("fig4_point_48cores", 3, [] {
     const harness::ContentionResult r =
@@ -161,6 +178,8 @@ int json_out_mode(const std::string& path) {
     std::fprintf(stderr, "running ocbcast_%zu...\n", lines);
     records.push_back(run_ocbcast_workload(lines));
   }
+  std::fprintf(stderr, "running ocbcast_1024_checked...\n");
+  records.push_back(run_ocbcast_checked_workload());
   std::fprintf(stderr, "running fig4_point_48cores...\n");
   records.push_back(run_fig4_workload());
   std::fprintf(stderr, "running fault_sweep_20seeds...\n");

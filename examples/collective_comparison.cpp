@@ -13,21 +13,10 @@ using namespace ocb;
 int main() {
   const std::vector<std::size_t> sizes{1, 8, 32, 96, 192, 1024, 8192};
 
-  struct Algo {
-    const char* name;
-    core::BcastSpec spec;
-  };
-  std::vector<Algo> algos;
-  {
-    core::BcastSpec oc;
-    algos.push_back({"oc-bcast k=7", oc});
-    core::BcastSpec binomial;
-    binomial.kind = core::BcastKind::kBinomial;
-    algos.push_back({"binomial", binomial});
-    core::BcastSpec sag;
-    sag.kind = core::BcastKind::kScatterAllgather;
-    algos.push_back({"scatter-allgather", sag});
-  }
+  // Registry-keyed selection (coll/registry.h): the example no longer knows
+  // any concrete algorithm class.
+  const std::vector<std::string> algos{"ocbcast", "binomial",
+                                       "scatter-allgather"};
 
   TextTable latency({"lines", "bytes", "oc-bcast_us", "binomial_us", "s-ag_us",
                      "best_baseline"});
@@ -40,7 +29,7 @@ int main() {
     bool ok = true;
     for (std::size_t a = 0; a < algos.size(); ++a) {
       harness::BcastRunSpec spec;
-      spec.algorithm = algos[a].spec;
+      spec.algorithm_name = algos[a];
       spec.message_bytes = lines * kCacheLineBytes;
       spec.iterations = harness::default_iterations(lines);
       const harness::BcastRunResult r = run_broadcast(spec);

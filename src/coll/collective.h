@@ -1,0 +1,43 @@
+// The collective interface.
+//
+// MPI-style contract: every participating core calls run() with matching
+// arguments (same root, same byte count). For a broadcast the root's
+// private memory at [offset, offset+bytes) holds the message and every
+// other core's same region receives it; run() returns (per core) when that
+// core is done per the algorithm's semantics — the paper's latency is the
+// time at which the *last* core returns.
+//
+// Concrete algorithms (core/) implement this interface and register a
+// factory under a string key in coll/registry.h; callers select by name:
+//
+//   auto bcast = coll::make("ocbcast", chip, {.k = 7});
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+#include "sim/task.h"
+
+namespace ocb::scc {
+class Core;
+}  // namespace ocb::scc
+
+namespace ocb::coll {
+
+class Collective {
+ public:
+  virtual ~Collective() = default;
+
+  /// Human-readable name ("oc-bcast k=7", "binomial", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of participating cores (ids 0..parties-1).
+  virtual int parties() const = 0;
+
+  /// The collective call; invoke once per participating core per round.
+  virtual sim::Task<void> run(scc::Core& self, CoreId root, std::size_t offset,
+                              std::size_t bytes) = 0;
+};
+
+}  // namespace ocb::coll

@@ -1,0 +1,88 @@
+#include "coll/registry.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/require.h"
+#include "core/binomial.h"
+#include "core/ft_ocbcast.h"
+#include "core/ocbcast.h"
+#include "core/onesided_sag.h"
+#include "core/scatter_allgather.h"
+
+namespace ocb::coll {
+
+namespace {
+
+std::map<std::string, Factory>& table() {
+  // Builtins are installed on first access rather than from static
+  // registrant objects: the registry lives in a static archive, and a
+  // registrant-only translation unit would be dropped by the linker.
+  static std::map<std::string, Factory> t = [] {
+    std::map<std::string, Factory> m;
+    m["ocbcast"] = [](scc::SccChip& chip, const Params& p) {
+      core::OcBcastOptions o;
+      o.parties = p.parties;
+      o.k = p.k;
+      o.chunk_lines = p.chunk_lines;
+      o.double_buffering = p.double_buffering;
+      o.leaf_direct_to_memory = p.leaf_direct_to_memory;
+      o.sequential_notification = p.sequential_notification;
+      return std::unique_ptr<Collective>(new core::OcBcast(chip, o));
+    };
+    m["binomial"] = [](scc::SccChip& chip, const Params& p) {
+      core::BinomialOptions o;
+      o.parties = p.parties;
+      return std::unique_ptr<Collective>(new core::BinomialBcast(chip, o));
+    };
+    m["scatter-allgather"] = [](scc::SccChip& chip, const Params& p) {
+      core::ScatterAllgatherOptions o;
+      o.parties = p.parties;
+      return std::unique_ptr<Collective>(
+          new core::ScatterAllgatherBcast(chip, o));
+    };
+    m["onesided-sag"] = [](scc::SccChip& chip, const Params& p) {
+      core::OneSidedSagOptions o;
+      o.parties = p.parties;
+      return std::unique_ptr<Collective>(
+          new core::OneSidedScatterAllgather(chip, o));
+    };
+    m["ft-ocbcast"] = [](scc::SccChip& chip, const Params& p) {
+      core::FtOcBcastOptions o;
+      o.parties = p.parties;
+      o.k = p.k;
+      o.chunk_lines = p.chunk_lines;
+      o.double_buffering = p.double_buffering;
+      return std::unique_ptr<Collective>(new core::FtOcBcast(chip, o));
+    };
+    return m;
+  }();
+  return t;
+}
+
+}  // namespace
+
+void register_collective(const std::string& name, Factory factory) {
+  OCB_REQUIRE(!name.empty(), "collective name must be non-empty");
+  OCB_REQUIRE(static_cast<bool>(factory), "collective factory must be callable");
+  table()[name] = std::move(factory);
+}
+
+bool registered(const std::string& name) { return table().count(name) != 0; }
+
+std::vector<std::string> names() {
+  std::vector<std::string> out;
+  out.reserve(table().size());
+  for (const auto& [name, factory] : table()) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Collective> make(const std::string& name, scc::SccChip& chip,
+                                 const Params& params) {
+  const auto it = table().find(name);
+  OCB_REQUIRE(it != table().end(),
+              "unknown collective (see coll::names for the registry)");
+  return it->second(chip, params);
+}
+
+}  // namespace ocb::coll

@@ -1,0 +1,57 @@
+// String-keyed collective registry.
+//
+// Decouples algorithm selection from the concrete classes: harnesses,
+// examples, and benches name an algorithm ("ocbcast", "binomial", ...) and
+// a Params bundle; the registry owns the wiring to the implementation's
+// option struct. The shipped algorithms register themselves on first use
+// (no static-initializer registrants — those get dead-stripped from static
+// archives); projects can add their own with register_collective, which is
+// how test-only variants (e.g. the deliberately racy mutation in
+// tests/check_test.cpp) slot into name-driven harness grids.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/collective.h"
+
+namespace ocb::scc {
+class SccChip;
+}  // namespace ocb::scc
+
+namespace ocb::coll {
+
+/// Algorithm-agnostic tuning bundle; each factory picks what it honors.
+struct Params {
+  int parties = kNumCores;
+  /// Tree fan-out (OC-Bcast family).
+  int k = 7;
+  std::size_t chunk_lines = 96;
+  bool double_buffering = true;
+  bool leaf_direct_to_memory = false;
+  bool sequential_notification = false;
+};
+
+using Factory =
+    std::function<std::unique_ptr<Collective>(scc::SccChip&, const Params&)>;
+
+/// Registers (or replaces) a factory under `name`.
+void register_collective(const std::string& name, Factory factory);
+
+/// True when `name` resolves (builtin or registered).
+bool registered(const std::string& name);
+
+/// Registered names, sorted; builtins are
+/// "ocbcast", "binomial", "scatter-allgather", "onesided-sag", "ft-ocbcast".
+std::vector<std::string> names();
+
+/// Instantiates `name` over `chip`. Algorithms own their MPB layout and
+/// protocol state; run at most one instance per chip lifetime (their flag
+/// lines overlap by design — each assumes exclusive use). Aborts (via
+/// OCB_REQUIRE) on an unknown name.
+std::unique_ptr<Collective> make(const std::string& name, scc::SccChip& chip,
+                                 const Params& params = {});
+
+}  // namespace ocb::coll

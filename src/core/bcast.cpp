@@ -2,54 +2,37 @@
 
 #include <sstream>
 
+#include "coll/registry.h"
 #include "common/require.h"
-#include "core/binomial.h"
-#include "core/ft_ocbcast.h"
-#include "core/ocbcast.h"
-#include "core/onesided_sag.h"
-#include "core/scatter_allgather.h"
 
 namespace ocb::core {
 
-std::unique_ptr<BroadcastAlgorithm> make_broadcast(scc::SccChip& chip,
-                                                   const BcastSpec& spec) {
-  switch (spec.kind) {
-    case BcastKind::kOcBcast: {
-      OcBcastOptions o;
-      o.parties = spec.parties;
-      o.k = spec.k;
-      o.chunk_lines = spec.chunk_lines;
-      o.double_buffering = spec.double_buffering;
-      o.leaf_direct_to_memory = spec.leaf_direct_to_memory;
-      o.sequential_notification = spec.sequential_notification;
-      return std::make_unique<OcBcast>(chip, o);
-    }
-    case BcastKind::kBinomial: {
-      BinomialOptions o;
-      o.parties = spec.parties;
-      return std::make_unique<BinomialBcast>(chip, o);
-    }
-    case BcastKind::kScatterAllgather: {
-      ScatterAllgatherOptions o;
-      o.parties = spec.parties;
-      return std::make_unique<ScatterAllgatherBcast>(chip, o);
-    }
-    case BcastKind::kOneSidedScatterAllgather: {
-      OneSidedSagOptions o;
-      o.parties = spec.parties;
-      return std::make_unique<OneSidedScatterAllgather>(chip, o);
-    }
-    case BcastKind::kFtOcBcast: {
-      FtOcBcastOptions o;
-      o.parties = spec.parties;
-      o.k = spec.k;
-      o.chunk_lines = spec.chunk_lines;
-      o.double_buffering = spec.double_buffering;
-      return std::make_unique<FtOcBcast>(chip, o);
-    }
+namespace {
+
+const char* registry_name(BcastKind kind) {
+  switch (kind) {
+    case BcastKind::kOcBcast: return "ocbcast";
+    case BcastKind::kBinomial: return "binomial";
+    case BcastKind::kScatterAllgather: return "scatter-allgather";
+    case BcastKind::kOneSidedScatterAllgather: return "onesided-sag";
+    case BcastKind::kFtOcBcast: return "ft-ocbcast";
   }
   OCB_ENSURE(false, "unknown broadcast kind");
-  return nullptr;
+  return "";
+}
+
+}  // namespace
+
+std::unique_ptr<BroadcastAlgorithm> make_broadcast(scc::SccChip& chip,
+                                                   const BcastSpec& spec) {
+  coll::Params p;
+  p.parties = spec.parties;
+  p.k = spec.k;
+  p.chunk_lines = spec.chunk_lines;
+  p.double_buffering = spec.double_buffering;
+  p.leaf_direct_to_memory = spec.leaf_direct_to_memory;
+  p.sequential_notification = spec.sequential_notification;
+  return coll::make(registry_name(spec.kind), chip, p);
 }
 
 std::string spec_label(const BcastSpec& spec) {

@@ -1,35 +1,22 @@
-// Common broadcast-algorithm interface.
+// Broadcast selection by enum kind.
 //
-// MPI-style collective contract: every participating core calls run() with
-// matching arguments (same root, same byte count); the root's private
-// memory at [offset, offset+bytes) holds the message, every other core's
-// same region receives it. run() returns (per core) when that core is done
-// per the algorithm's semantics — the paper's latency is the time at which
-// the *last* core returns.
+// The interface itself lives in coll/collective.h (BroadcastAlgorithm is an
+// alias of coll::Collective); concrete algorithms also register factories
+// under string keys in coll/registry.h, which is the preferred selection
+// surface for harnesses and benches. This header keeps the enum-keyed
+// BcastSpec for callers that enumerate the paper's fixed algorithm set.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "coll/collective.h"
 #include "scc/chip.h"
-#include "sim/task.h"
 
 namespace ocb::core {
 
-class BroadcastAlgorithm {
- public:
-  virtual ~BroadcastAlgorithm() = default;
-
-  /// Human-readable name ("oc-bcast k=7", "binomial", ...).
-  virtual std::string name() const = 0;
-
-  /// Number of participating cores (ids 0..parties-1).
-  virtual int parties() const = 0;
-
-  /// The collective call; invoke once per participating core per broadcast.
-  virtual sim::Task<void> run(scc::Core& self, CoreId root, std::size_t offset,
-                              std::size_t bytes) = 0;
-};
+/// The collective interface (see coll/collective.h).
+using BroadcastAlgorithm = coll::Collective;
 
 /// Which algorithm to instantiate (factory in bcast.cpp).
 enum class BcastKind {

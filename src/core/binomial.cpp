@@ -22,6 +22,7 @@ sim::Task<void> BinomialBcast::run(scc::Core& self, CoreId root, std::size_t off
   auto absolute = [&](int rank) { return (root + rank) % p; };
 
   // Receive phase: the set bit found first is the distance to the parent.
+  self.set_stage("binomial:recv");
   int mask = 1;
   while (mask < p) {
     if ((rel & mask) != 0) {
@@ -31,6 +32,7 @@ sim::Task<void> BinomialBcast::run(scc::Core& self, CoreId root, std::size_t off
     mask <<= 1;
   }
   // Send phase: forward to progressively nearer sub-roots.
+  self.set_stage("binomial:send");
   for (mask >>= 1; mask > 0; mask >>= 1) {
     if (rel + mask < p) {
       co_await twosided_->send(self, absolute(rel + mask), offset, bytes);

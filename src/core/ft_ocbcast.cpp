@@ -114,6 +114,7 @@ sim::Task<void> FtOcBcast::write_staged_reliable(scc::Core& self,
   co_await self.busy(self.chip().config().o_put_mpb);
   sim::Duration backoff = options_.watchdog.write_backoff;
   for (int attempt = 0;; ++attempt) {
+    rma::note_flag_release(self, rma::MpbAddr{self.id(), line}, seq);
     co_await self.mpb_write_line(self.id(), line, want);
     CacheLine back;
     co_await self.mpb_read_line(self.id(), line, back);
@@ -263,6 +264,7 @@ sim::Task<bool> FtOcBcast::follower_chunk(
     {
       sim::Trigger& trig =
           self.chip().mpb(source).line_trigger(staged_line(parity));
+      rma::note_flag_wait(self, rma::MpbAddr{source, staged_line(parity)});
       int probes = 0;
       bool detected = false;
       while (!detected) {
@@ -271,6 +273,8 @@ sim::Task<bool> FtOcBcast::follower_chunk(
         co_await self.mpb_read_line(source, staged_line(parity), sl);
         st = decode_staged(sl);
         if (st.valid && st.seq >= seq) {
+          rma::note_flag_acquire(self, rma::MpbAddr{source, staged_line(parity)},
+                                 st.seq);
           detected = true;
           break;
         }
@@ -316,11 +320,20 @@ sim::Task<bool> FtOcBcast::follower_chunk(
     }
 
     // --- Fetch + verify -------------------------------------------------
+    // A re-routed fetch (source walked past a presumed-dead peer) has no
+    // ack path into the substitute source's buffer-reuse gate: the read
+    // legitimately races the source recycling the slot, and safety comes
+    // from the checksum (mismatch => retry; seq advanced => fall-behind).
+    // Declare it a validated-read section so the race checker holds it to
+    // that protocol instead of the happens-before rule.
+    const bool rerouted = source != parent;
     if (is_leaf) {
-      // Leaves land straight in private memory (§5.4): half the line
-      // transactions, and the checksum covers the whole observed path.
+      if (rerouted) rma::note_optimistic_begin(self);
       const std::uint64_t got = co_await rma::get_mpb_to_mem_sum(
           self, mem_off, rma::MpbAddr{source, buffer_line(parity)}, lines);
+      if (rerouted) rma::note_optimistic_end(self);
+      // Leaves land straight in private memory (§5.4): half the line
+      // transactions, and the checksum covers the whole observed path.
       if (got != st.sum) {
         ++rep.checksum_retries;
         ++attempts;
@@ -328,9 +341,11 @@ sim::Task<bool> FtOcBcast::follower_chunk(
       }
     } else {
       co_await wait_children_done(self, tree, children, reuse_min);
+      if (rerouted) rma::note_optimistic_begin(self);
       const std::uint64_t got = co_await rma::get_mpb_to_mpb_sum(
           self, buffer_line(parity), rma::MpbAddr{source, buffer_line(parity)},
           lines);
+      if (rerouted) rma::note_optimistic_end(self);
       if (got != st.sum) {
         ++rep.checksum_retries;
         ++attempts;
@@ -412,16 +427,19 @@ sim::Task<void> FtOcBcast::run(scc::Core& self, CoreId root, std::size_t offset,
     const std::uint64_t reuse_min = c >= buffer_count_ ? seq - buffer_count_ : 0;
 
     if (me == root) {
+      self.set_stage("ft-oc-bcast:root");
       co_await root_chunk(self, tree, children, own, seq, parity, lines,
                           mem_off, reuse_min);
       continue;
     }
+    self.set_stage("ft-oc-bcast:follower");
     const bool ok = co_await follower_chunk(self, tree, children, forward, own,
                                             use_notify, seq, parity, lines,
                                             mem_off, reuse_min);
     if (!ok) co_return;
   }
 
+  self.set_stage("ft-oc-bcast:drain");
   co_await wait_children_done(self, tree, children, base + n_chunks);
   rep.delivered = true;
 }

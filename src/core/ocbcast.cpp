@@ -125,6 +125,7 @@ sim::Task<void> OcBcast::run(scc::Core& self, CoreId root, std::size_t offset,
     const std::uint64_t reuse_min = c >= buffer_count_ ? seq - buffer_count_ : 0;
 
     if (me == root) {
+      self.set_stage("oc-bcast:root-stage");
       co_await wait_children_done(self, children, reuse_min);
       co_await rma::put_mem_to_mpb(self, rma::MpbAddr{me, buffer_line(parity)},
                                    mem_off, lines);
@@ -135,6 +136,7 @@ sim::Task<void> OcBcast::run(scc::Core& self, CoreId root, std::size_t offset,
     }
 
     // Detect the chunk announcement...
+    self.set_stage("oc-bcast:detect");
     co_await rma::wait_flag_at_least(self, rma::MpbAddr{me, notify_line()}, seq);
     // (i) ...and forward it within the parent's group first, so deeper
     // siblings start their gets as early as possible.
@@ -144,6 +146,7 @@ sim::Task<void> OcBcast::run(scc::Core& self, CoreId root, std::size_t offset,
     if (!children.empty()) {
       co_await wait_children_done(self, children, reuse_min);
     }
+    self.set_stage("oc-bcast:relay");
     if (leaf_direct) {
       // §5.4: a leaf needs no staging copy — straight to private memory.
       co_await rma::get_mpb_to_mem(self, mem_off,
@@ -167,6 +170,7 @@ sim::Task<void> OcBcast::run(scc::Core& self, CoreId root, std::size_t offset,
 
   // Free-MPB guarantee before returning: all children consumed every chunk
   // (for the root with k = P-1 this is the "47 flags to poll" of §5.2.3).
+  self.set_stage("oc-bcast:drain");
   co_await wait_children_done(self, children, base + n_chunks);
 }
 

@@ -130,6 +130,7 @@ sim::Task<void> OcReduce::run(scc::Core& self, CoreId root, std::size_t in_offse
     // 2. Merge every child's staged chunk: poll its readyFlag (local), read
     //    the lines straight out of the child's MPB, merge in registers,
     //    release the child's buffer.
+    self.set_stage("oc-reduce:merge");
     for (std::size_t j = 0; j < children.size(); ++j) {
       const CoreId child = children[j];
       co_await rma::wait_flag_at_least(
@@ -167,6 +168,7 @@ sim::Task<void> OcReduce::run(scc::Core& self, CoreId root, std::size_t in_offse
     // Reuse the buffer slot only once the parent consumed what was staged
     // there two chunks ago (first chunks: the previous call's end-wait
     // already proved the buffers free).
+    self.set_stage("oc-reduce:stage");
     const std::uint64_t reuse_min = c >= 2 ? seq - 2 : 0;
     co_await rma::wait_flag_at_least(self, rma::MpbAddr{me, consumed_line()},
                                      reuse_min);

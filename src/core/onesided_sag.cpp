@@ -116,6 +116,8 @@ sim::Task<void> OneSidedScatterAllgather::drain_range(scc::Core& self, CoreId pa
                                  rma::MpbAddr{self.id(), inbox_line()}, n);
     // Local write; the parent polls this line remotely.
     co_await self.busy(self.chip().config().o_put_mpb);
+    rma::note_flag_release(self, rma::MpbAddr{self.id(), inbox_done_line()},
+                           rma::pack_flag(parent, s));
     co_await self.mpb_write_line(self.id(), inbox_done_line(),
                                  rma::encode_flag(rma::pack_flag(parent, s)));
     done += n;
@@ -147,6 +149,7 @@ sim::Task<void> OneSidedScatterAllgather::run(scc::Core& self, CoreId root,
   auto chunks_of = [&](std::size_t lines) { return (lines + chunk - 1) / chunk; };
 
   // --- scatter: binary recursive tree, one-sided inbox pushes -------------
+  self.set_stage("1s-s-ag:scatter");
   {
     int lo = 0;
     int hi = p;
@@ -175,6 +178,7 @@ sim::Task<void> OneSidedScatterAllgather::run(scc::Core& self, CoreId root,
   // straight into its private memory. Stage and consume interleave per
   // chunk so each dependency spans two ring neighbours only.
   const CoreId right = absolute((rel + 1) % p);
+  self.set_stage("1s-s-ag:allgather");
 
   auto stage_parity = [](std::uint64_t stage_number) {
     return (stage_number - 1) % 2;  // stage numbers are 1-based
@@ -203,6 +207,7 @@ sim::Task<void> OneSidedScatterAllgather::run(scc::Core& self, CoreId root,
             out_off + c * chunk * kCacheLineBytes, n);
         staged_[static_cast<std::size_t>(me)] = mine;
         co_await self.busy(self.chip().config().o_put_mpb);
+        rma::note_flag_release(self, rma::MpbAddr{me, stage_ready_line()}, mine);
         co_await self.mpb_write_line(me, stage_ready_line(), rma::encode_flag(mine));
       }
       if (c < chunks_of(in_lines)) {

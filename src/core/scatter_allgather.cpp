@@ -38,6 +38,7 @@ sim::Task<void> ScatterAllgatherBcast::run(scc::Core& self, CoreId root,
   };
 
   // --- scatter phase ------------------------------------------------------
+  self.set_stage("s-ag:scatter");
   int lo = 0;
   int hi = p;
   while (hi - lo > 1) {
@@ -58,6 +59,7 @@ sim::Task<void> ScatterAllgatherBcast::run(scc::Core& self, CoreId root,
   }
 
   // --- allgather phase (shift ring) ----------------------------------------
+  self.set_stage("s-ag:allgather");
   const CoreId left = absolute((rel - 1 + p) % p);
   const CoreId right = absolute((rel + 1) % p);
   for (int t = 1; t < p; ++t) {

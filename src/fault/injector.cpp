@@ -55,7 +55,7 @@ void FaultInjector::corrupt(CacheLine& value) {
   value.bytes[byte] ^= static_cast<std::byte>(1u << bit);
 }
 
-void FaultInjector::on_read(const scc::FaultSite& site, CacheLine& value) {
+void FaultInjector::on_read(const scc::LineTxn& site, CacheLine& value) {
   const double rate = rate_for(site.op);
   if (rate <= 0.0) return;
   // One rng draw per at-risk transaction keeps the stream aligned with the
@@ -66,7 +66,7 @@ void FaultInjector::on_read(const scc::FaultSite& site, CacheLine& value) {
   ++stats_.reads_corrupted;
 }
 
-bool FaultInjector::on_write(const scc::FaultSite& site, CacheLine& value) {
+bool FaultInjector::on_write(const scc::LineTxn& site, CacheLine& value) {
   if (site.op == scc::TraceOp::kMpbWrite) {
     for (const StuckLine& s : plan_.stuck_lines) {
       const bool match = s.owner == site.target && s.line == site.index;

@@ -1,4 +1,4 @@
-// FaultInjector: the canonical scc::FaultHook.
+// FaultInjector: the canonical fault-injecting scc::TransactionObserver.
 //
 // Replays an ocb::fault::FaultPlan against a simulation. All randomness
 // comes from a private xoshiro256** stream seeded from the plan, consulted
@@ -11,29 +11,29 @@
 //   plan.rates.mpb_read = 1e-5;
 //   plan.crashes.push_back({.core = 5, .at = sim::us(30)});
 //   fault::FaultInjector injector(plan);
-//   chip.set_fault_hook(&injector);       // non-owning; outlive the run
+//   chip.add_observer(&injector);         // non-owning; outlive the run
 #pragma once
 
 #include <vector>
 
 #include "common/rng.h"
 #include "fault/plan.h"
-#include "scc/fault_hook.h"
+#include "scc/observer.h"
 
 namespace ocb::fault {
 
-class FaultInjector final : public scc::FaultHook {
+class FaultInjector final : public scc::TransactionObserver {
  public:
   explicit FaultInjector(FaultPlan plan);
 
   const FaultPlan& plan() const { return plan_; }
   const InjectionStats& stats() const { return stats_; }
 
-  // scc::FaultHook
+  // scc::TransactionObserver
   bool crashed(CoreId core, sim::Time now) override;
   sim::Duration stall(CoreId core, sim::Time now) override;
-  void on_read(const scc::FaultSite& site, CacheLine& value) override;
-  bool on_write(const scc::FaultSite& site, CacheLine& value) override;
+  void on_read(const scc::LineTxn& txn, CacheLine& value) override;
+  bool on_write(const scc::LineTxn& txn, CacheLine& value) override;
 
  private:
   double rate_for(scc::TraceOp op) const;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "check/checker.h"
 #include "common/require.h"
 #include "common/rng.h"
 #include "core/ocbcast.h"
@@ -36,7 +37,12 @@ FaultRunOutcome run_fault_once(const FaultRunSpec& spec) {
 
   scc::SccChip chip(spec.config);
   fault::FaultInjector injector(spec.plan);
-  chip.set_fault_hook(&injector);
+  chip.add_observer(&injector);
+  std::unique_ptr<check::RaceChecker> checker;
+  if (spec.check_races) {
+    checker = std::make_unique<check::RaceChecker>(chip);
+    chip.add_observer(checker.get());
+  }
 
   const int parties = spec.ft.parties;
   OCB_REQUIRE(spec.root >= 0 && spec.root < parties, "root out of range");
@@ -116,6 +122,10 @@ FaultRunOutcome run_fault_once(const FaultRunSpec& spec) {
     }
   }
   if (all_returned) out.latency_us = sim::to_us(last);
+  if (checker != nullptr) {
+    out.race_violations = checker->total_detected();
+    if (out.race_violations > 0) out.race_report = checker->report();
+  }
   return out;
 }
 

@@ -29,6 +29,11 @@ struct FaultRunSpec {
   /// Event budget: a run that exceeds it is reported as not completed
   /// rather than looping forever.
   std::uint64_t max_events = 400'000'000;
+  /// Also install an ocb::check::RaceChecker on the run's observer chain —
+  /// the injector's crashes/stalls/corruption then execute under
+  /// happens-before surveillance (a recovery path that reads data without
+  /// a real ordering edge is a bug even when the bytes verify).
+  bool check_races = false;
 };
 
 struct FaultRunOutcome {
@@ -51,6 +56,9 @@ struct FaultRunOutcome {
   double latency_us = 0.0;
   std::uint64_t events = 0;
   fault::InjectionStats injections;
+  /// Races detected (0 unless spec.check_races).
+  std::uint64_t race_violations = 0;
+  std::string race_report{};
 
   /// The FT acceptance predicate: every survivor delivered correct bytes.
   bool all_survivors_correct() const {

@@ -1,8 +1,10 @@
 #include "harness/measurement.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
+#include "check/checker.h"
 #include "common/require.h"
 #include "common/rng.h"
 #include "noc/memctrl.h"
@@ -12,6 +14,11 @@
 namespace ocb::harness {
 
 namespace {
+
+bool env_check_enabled() {
+  const char* v = std::getenv("OCB_CHECK");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
 
 /// Fills a host-visible region with a deterministic per-(seed) pattern.
 void fill_pattern(std::span<std::byte> region, std::uint64_t seed) {
@@ -32,11 +39,19 @@ void fill_pattern(std::span<std::byte> region, std::uint64_t seed) {
 BcastSession::BcastSession(const BcastRunSpec& spec)
     : spec_(spec),
       chip_(std::make_unique<scc::SccChip>(spec.config)),
-      algo_(core::make_broadcast(*chip_, spec.algorithm)) {
+      algo_(spec.algorithm_name.empty()
+                ? core::make_broadcast(*chip_, spec.algorithm)
+                : coll::make(spec.algorithm_name, *chip_, spec.params)) {
   OCB_REQUIRE(spec_.message_bytes > 0, "empty message");
   OCB_REQUIRE(spec_.iterations >= 1, "need at least one measured iteration");
   OCB_REQUIRE(spec_.warmup >= 0, "negative warmup");
+  if (spec_.check || env_check_enabled()) {
+    checker_ = std::make_unique<check::RaceChecker>(*chip_);
+    chip_->add_observer(checker_.get());
+  }
 }
+
+BcastSession::~BcastSession() = default;
 
 BcastRunResult BcastSession::run() {
   scc::SccChip& chip = *chip_;
@@ -106,6 +121,13 @@ BcastRunResult BcastSession::run() {
   }
   out.throughput_mbps =
       static_cast<double>(spec_.message_bytes) / out.latency_us.mean();
+
+  if (checker_ != nullptr) {
+    // Sessions are reusable; report this call's delta like the event count.
+    out.race_violations = checker_->total_detected() - races_seen_;
+    races_seen_ = checker_->total_detected();
+    if (out.race_violations > 0) out.race_report = checker_->report();
+  }
 
   if (spec_.verify) {
     for (int it = spec_.warmup; it < total; ++it) {

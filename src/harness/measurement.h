@@ -17,23 +17,36 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "coll/registry.h"
 #include "common/stats.h"
 #include "core/bcast.h"
 #include "scc/chip.h"
 #include "scc/config.h"
 
+namespace ocb::check {
+class RaceChecker;
+}  // namespace ocb::check
+
 namespace ocb::harness {
 
 struct BcastRunSpec {
   core::BcastSpec algorithm{};
+  /// Registry-keyed selection (coll/registry.h); when non-empty it wins
+  /// over `algorithm`, and `params` configures the chosen factory.
+  std::string algorithm_name{};
+  coll::Params params{};
   scc::SccConfig config{};
   CoreId root = 0;
   std::size_t message_bytes = kCacheLineBytes;
   int iterations = 8;  ///< measured iterations
   int warmup = 1;      ///< discarded leading iterations
   bool verify = true;  ///< byte-compare every measured delivery
+  /// Install an ocb::check::RaceChecker for the whole session. Also
+  /// enabled by the OCB_CHECK environment variable (any value but "0").
+  bool check = false;
 };
 
 struct BcastRunResult {
@@ -49,6 +62,9 @@ struct BcastRunResult {
   /// when built with OCB_SIM_STATS (see sim/frame_pool.h).
   std::uint64_t frame_allocs = 0;
   std::uint64_t frame_reuses = 0;
+  /// Race-checker results for this run() call (spec.check / OCB_CHECK).
+  std::uint64_t race_violations = 0;
+  std::string race_report{};
 };
 
 /// Reusable measurement session: one chip and one algorithm instance
@@ -62,6 +78,7 @@ struct BcastRunResult {
 class BcastSession {
  public:
   explicit BcastSession(const BcastRunSpec& spec);
+  ~BcastSession();
 
   BcastSession(const BcastSession&) = delete;
   BcastSession& operator=(const BcastSession&) = delete;
@@ -71,12 +88,17 @@ class BcastSession {
 
   scc::SccChip& chip() { return *chip_; }
 
+  /// The installed race checker, or nullptr when checking is off.
+  check::RaceChecker* checker() { return checker_.get(); }
+
  private:
   BcastRunSpec spec_;
   std::unique_ptr<scc::SccChip> chip_;
   std::unique_ptr<core::BroadcastAlgorithm> algo_;
+  std::unique_ptr<check::RaceChecker> checker_;
   int next_slot_ = 0;  ///< first unused iteration slot (offset cursor)
   std::uint64_t events_seen_ = 0;  ///< cumulative engine count already reported
+  std::uint64_t races_seen_ = 0;   ///< cumulative violations already reported
 };
 
 /// Runs `warmup + iterations` broadcasts on a fresh chip

@@ -4,13 +4,19 @@ namespace ocb::rma {
 
 sim::Task<void> set_flag(scc::Core& self, MpbAddr flag, FlagValue value) {
   co_await self.busy(self.chip().config().o_put_mpb);
+  note_flag_release(self, flag, value);
   co_await self.mpb_write_line(flag.owner, flag.line, encode_flag(value));
 }
 
 sim::Task<FlagValue> read_flag(scc::Core& self, MpbAddr flag) {
   CacheLine cl;
   co_await self.mpb_read_line(flag.owner, flag.line, cl);
-  co_return decode_flag(cl);
+  const FlagValue v = decode_flag(cl);
+  // Every observed value is an acquire of that value: the caller decides
+  // afterwards whether it constitutes progress, but the reads-from edge is
+  // real either way (the read returned exactly that store's line).
+  note_flag_acquire(self, flag, v);
+  co_return v;
 }
 
 sim::Task<FlagValue> wait_flag_equal(scc::Core& self, MpbAddr flag, FlagValue expected) {
@@ -25,6 +31,10 @@ sim::Task<FlagValue> wait_flag_at_least(scc::Core& self, MpbAddr flag,
 }
 
 void host_init_flag(scc::SccChip& chip, MpbAddr flag, FlagValue value) {
+  if (chip.observing()) {
+    chip.observe_sync(
+        {scc::SyncOp::kHostInit, -1, flag.owner, flag.line, value, chip.now()});
+  }
   chip.mpb(flag.owner).host_line(flag.line) = encode_flag(value);
 }
 

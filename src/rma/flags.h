@@ -42,6 +42,67 @@ inline FlagValue pack_flag(CoreId writer, std::uint64_t seq) {
   return (static_cast<FlagValue>(writer + 1) << 40) | (seq & ((1ULL << 40) - 1));
 }
 
+// --- sync annotations for the observer chain -------------------------------
+//
+// The flag helpers below report their release/acquire semantics to the
+// chip's TransactionObserver chain (scc/observer.h), keyed by the flag
+// VALUE: "the next write of this line publishes v" / "this read observed
+// v". Value keying is what keeps the happens-before reconstruction honest
+// under fault injection — a suppressed or corrupted write must not donate
+// an ordering edge it never delivered. Protocols that write or poll flag
+// lines with raw Core transactions (twosided recv's ready line, the
+// FT staged lines, ...) call these at their raw sites.
+
+/// "The next write of `flag` publishes `value`" — call immediately before
+/// the raw flag write.
+inline void note_flag_release(scc::Core& self, MpbAddr flag, FlagValue value) {
+  scc::SccChip& chip = self.chip();
+  if (chip.observing()) {
+    chip.observe_sync({scc::SyncOp::kRelease, self.id(), flag.owner, flag.line,
+                       value, self.now()});
+  }
+}
+
+/// "A read of `flag` observed `value`" — call once the protocol accepts a
+/// polled value.
+inline void note_flag_acquire(scc::Core& self, MpbAddr flag, FlagValue value) {
+  scc::SccChip& chip = self.chip();
+  if (chip.observing()) {
+    chip.observe_sync({scc::SyncOp::kAcquire, self.id(), flag.owner, flag.line,
+                       value, self.now()});
+  }
+}
+
+/// "`self` is about to start polling `flag` as a flag" — marks the line as
+/// a synchronization line before its first read.
+inline void note_flag_wait(scc::Core& self, MpbAddr flag) {
+  scc::SccChip& chip = self.chip();
+  if (chip.observing()) {
+    chip.observe_sync(
+        {scc::SyncOp::kWaitBegin, self.id(), flag.owner, flag.line, 0, self.now()});
+  }
+}
+
+/// "`self`'s reads until the matching end are checksum-validated optimistic
+/// reads" — seqlock-style sections (e.g. FT-OC-Bcast's re-routed fetches,
+/// which race with the source's buffer reuse by design and discard any
+/// read whose payload fails validation).
+inline void note_optimistic_begin(scc::Core& self) {
+  scc::SccChip& chip = self.chip();
+  if (chip.observing()) {
+    chip.observe_sync(
+        {scc::SyncOp::kOptimisticBegin, self.id(), self.id(), 0, 0, self.now()});
+  }
+}
+
+inline void note_optimistic_end(scc::Core& self) {
+  scc::SccChip& chip = self.chip();
+  if (chip.observing()) {
+    chip.observe_sync(
+        {scc::SyncOp::kOptimisticEnd, self.id(), self.id(), 0, 0, self.now()});
+  }
+}
+
 /// Writes `value` into a flag line of (possibly remote) core `flag.owner`.
 /// The value comes from a register, so this is a write-only single-line put
 /// (per-op overhead + one line write).
@@ -58,12 +119,16 @@ sim::Task<FlagValue> read_flag(scc::Core& self, MpbAddr flag);
 template <typename Pred>
 sim::Task<FlagValue> wait_flag(scc::Core& self, MpbAddr flag, Pred pred) {
   sim::Trigger& trigger = self.chip().mpb(flag.owner).line_trigger(flag.line);
+  note_flag_wait(self, flag);
   for (;;) {
     const std::uint64_t epoch = trigger.epoch();
     CacheLine cl;
     co_await self.mpb_read_line(flag.owner, flag.line, cl);
     const FlagValue v = decode_flag(cl);
-    if (pred(v)) co_return v;
+    if (pred(v)) {
+      note_flag_acquire(self, flag, v);
+      co_return v;
+    }
     co_await trigger.wait_unless_changed(epoch);
   }
 }

@@ -82,6 +82,8 @@ sim::Task<bool> AsyncTwoSided::test(scc::Core& self, Request& request) {
       if (!s.ready_posted) {
         // Announce readiness for this chunk (local write).
         co_await self.busy(self.chip().config().o_put_mpb);
+        note_flag_release(self, MpbAddr{s.owner, layout_.ready_line},
+                          pack_flag(s.peer, s.seq));
         co_await self.mpb_write_line(s.owner, layout_.ready_line,
                                      encode_flag(pack_flag(s.peer, s.seq)));
         s.ready_posted = true;

@@ -20,13 +20,17 @@ sim::Task<bool> set_flag_reliable(scc::Core& self, MpbAddr flag, FlagValue value
 sim::Task<std::optional<FlagValue>> wait_checked_flag_at_least_watchdog(
     scc::Core& self, MpbAddr flag, FlagValue minimum, sim::Duration timeout) {
   sim::Trigger& trigger = self.chip().mpb(flag.owner).line_trigger(flag.line);
+  note_flag_wait(self, flag);
   const sim::Time deadline = self.now() + timeout;
   for (;;) {
     const std::uint64_t epoch = trigger.epoch();
     CacheLine cl;
     co_await self.mpb_read_line(flag.owner, flag.line, cl);
     const FlagValue v = decode_checked_flag(cl);
-    if (v >= minimum) co_return v;
+    if (v >= minimum) {
+      note_flag_acquire(self, flag, v);
+      co_return v;
+    }
     const sim::Time now = self.now();
     if (now >= deadline) co_return std::nullopt;
     self.set_wait_note("flag-watchdog", flag.owner, static_cast<int>(flag.line));
@@ -36,7 +40,10 @@ sim::Task<std::optional<FlagValue>> wait_checked_flag_at_least_watchdog(
     CacheLine last;
     co_await self.mpb_read_line(flag.owner, flag.line, last);
     const FlagValue lv = decode_checked_flag(last);
-    if (lv >= minimum) co_return lv;
+    if (lv >= minimum) {
+      note_flag_acquire(self, flag, lv);
+      co_return lv;
+    }
     co_return std::nullopt;
   }
 }
@@ -48,6 +55,7 @@ sim::Task<bool> set_checked_flag_reliable(scc::Core& self, MpbAddr flag,
   sim::Duration backoff = policy.write_backoff;
   for (int attempt = 0;; ++attempt) {
     co_await self.busy(self.chip().config().o_put_mpb);
+    note_flag_release(self, flag, value);
     co_await self.mpb_write_line(flag.owner, flag.line, want);
     CacheLine back;
     co_await self.mpb_read_line(flag.owner, flag.line, back);

@@ -36,13 +36,17 @@ sim::Task<std::optional<FlagValue>> wait_flag_watchdog(scc::Core& self,
                                                        MpbAddr flag, Pred pred,
                                                        sim::Duration timeout) {
   sim::Trigger& trigger = self.chip().mpb(flag.owner).line_trigger(flag.line);
+  note_flag_wait(self, flag);
   const sim::Time deadline = self.now() + timeout;
   for (;;) {
     const std::uint64_t epoch = trigger.epoch();
     CacheLine cl;
     co_await self.mpb_read_line(flag.owner, flag.line, cl);
     const FlagValue v = decode_flag(cl);
-    if (pred(v)) co_return v;
+    if (pred(v)) {
+      note_flag_acquire(self, flag, v);
+      co_return v;
+    }
     const sim::Time now = self.now();
     if (now >= deadline) co_return std::nullopt;
     self.set_wait_note("flag-watchdog", flag.owner, static_cast<int>(flag.line));
@@ -54,7 +58,10 @@ sim::Task<std::optional<FlagValue>> wait_flag_watchdog(scc::Core& self,
     CacheLine last;
     co_await self.mpb_read_line(flag.owner, flag.line, last);
     const FlagValue lv = decode_flag(last);
-    if (pred(lv)) co_return lv;
+    if (pred(lv)) {
+      note_flag_acquire(self, flag, lv);
+      co_return lv;
+    }
     co_return std::nullopt;
   }
 }

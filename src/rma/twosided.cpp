@@ -64,6 +64,8 @@ sim::Task<void> TwoSided::recv(scc::Core& self, CoreId src, std::size_t offset,
     const std::uint64_t s = ++recv_seq(src, self.id());
     // Announce readiness in the local MPB: write cost, no arbitration.
     co_await self.busy(self.chip().config().o_put_mpb);
+    note_flag_release(self, MpbAddr{self.id(), layout_.ready_line},
+                      pack_flag(src, s));
     co_await self.mpb_write_line(self.id(), layout_.ready_line,
                                  encode_flag(pack_flag(src, s)));
     co_await wait_flag_equal(self, MpbAddr{self.id(), layout_.sent_line},

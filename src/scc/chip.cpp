@@ -83,4 +83,45 @@ sim::RunResult SccChip::run(std::uint64_t max_events) {
   return engine_.run(max_events);
 }
 
+void SccChip::add_observer(TransactionObserver* observer) {
+  OCB_REQUIRE(observer != nullptr, "null observer");
+  for (const TransactionObserver* o : observers_) {
+    OCB_REQUIRE(o != observer, "observer installed twice");
+  }
+  observers_.push_back(observer);
+  refresh_coalescing();
+}
+
+void SccChip::remove_observer(TransactionObserver* observer) {
+  std::erase(observers_, observer);
+  refresh_coalescing();
+}
+
+void SccChip::set_trace_sink(TraceSink sink) {
+  const bool was_installed = static_cast<bool>(trace_observer_.sink);
+  trace_observer_.sink = std::move(sink);
+  const bool want_installed = static_cast<bool>(trace_observer_.sink);
+  if (want_installed && !was_installed) add_observer(&trace_observer_);
+  if (!want_installed && was_installed) remove_observer(&trace_observer_);
+}
+
+bool SccChip::observer_crashed(CoreId core, sim::Time now) {
+  bool dead = false;
+  for (TransactionObserver* o : observers_) {
+    dead = o->crashed(core, now) || dead;
+  }
+  const auto i = static_cast<std::size_t>(core);
+  if (dead && !crash_notified_[i]) {
+    crash_notified_[i] = true;
+    for (TransactionObserver* o : observers_) o->on_crash(core, now);
+  }
+  return dead;
+}
+
+sim::Duration SccChip::observer_stall(CoreId core, sim::Time now) {
+  sim::Duration total = 0;
+  for (TransactionObserver* o : observers_) total += o->stall(core, now);
+  return total;
+}
+
 }  // namespace ocb::scc

@@ -18,6 +18,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "mem/mpb.h"
 #include "mem/private_memory.h"
@@ -25,7 +26,7 @@
 #include "noc/memctrl.h"
 #include "scc/config.h"
 #include "scc/core.h"
-#include "scc/fault_hook.h"
+#include "scc/observer.h"
 #include "scc/trace.h"
 #include "sim/engine.h"
 
@@ -60,30 +61,51 @@ class SccChip {
   /// Runs the event loop to completion; see sim::Engine::run.
   sim::RunResult run(std::uint64_t max_events = UINT64_MAX);
 
-  /// Installs (or clears, with an empty function) a per-transaction trace
-  /// sink; see scc/trace.h.
-  void set_trace_sink(TraceSink sink) {
-    trace_sink_ = std::move(sink);
-    refresh_coalescing();
-  }
-  bool tracing() const { return static_cast<bool>(trace_sink_); }
-  /// Emits one event (no-op unless tracing). Called by Core.
-  void trace(const TraceEvent& event) {
-    if (trace_sink_) trace_sink_(event);
-  }
+  // --- instrumentation: the TransactionObserver chain ---------------------
 
-  /// Installs (or clears, with nullptr) a fault-injection hook consulted at
-  /// every line transaction; see scc/fault_hook.h. Non-owning — the hook
-  /// must outlive the simulation.
-  void set_fault_hook(FaultHook* hook) {
-    fault_hook_ = hook;
-    refresh_coalescing();
+  /// Appends an observer to the chain (consulted in installation order at
+  /// every line transaction; see scc/observer.h). Non-owning — the observer
+  /// must outlive the simulation. Installing any observer disables the
+  /// coalesced RMA fast path.
+  void add_observer(TransactionObserver* observer);
+
+  /// Removes a previously installed observer (no-op if absent).
+  void remove_observer(TransactionObserver* observer);
+
+  /// True when at least one observer is installed (per-transaction dispatch
+  /// and the pre-transaction gate are active).
+  bool observing() const { return !observers_.empty(); }
+
+  /// Installs (or clears, with an empty function) a per-transaction trace
+  /// sink; sugar for an internal observer that forwards on_complete events
+  /// (see scc/trace.h). Kept for the common "just give me the events" case.
+  void set_trace_sink(TraceSink sink);
+  bool tracing() const { return static_cast<bool>(trace_observer_.sink); }
+
+  // Chain dispatch, called by Core (and the rma sync layer for
+  // observe_sync). All loops are over the installed observers in order.
+  bool observer_crashed(CoreId core, sim::Time now);
+  sim::Duration observer_stall(CoreId core, sim::Time now);
+  void observe_read(const LineTxn& txn, CacheLine& value) {
+    for (TransactionObserver* o : observers_) o->on_read(txn, value);
   }
-  FaultHook* fault_hook() const { return fault_hook_; }
+  bool observe_write(const LineTxn& txn, CacheLine& value) {
+    bool commit = true;
+    for (TransactionObserver* o : observers_) {
+      commit = o->on_write(txn, value) && commit;
+    }
+    return commit;
+  }
+  void observe_complete(const TraceEvent& event) {
+    for (TransactionObserver* o : observers_) o->on_complete(event);
+  }
+  void observe_sync(const SyncEvent& event) {
+    for (TransactionObserver* o : observers_) o->on_sync(event);
+  }
 
   /// True when multi-line RMA ops may take the coalesced fast path (see
   /// DESIGN.md "Fast-path transaction coalescing" for the bypass
-  /// conditions). Re-evaluated whenever a hook or sink is (un)installed.
+  /// conditions). Re-evaluated whenever the observer chain changes.
   bool coalescing_active() const { return coalescing_active_; }
 
   /// Per-core reusable fast-path state machine (a core has at most one
@@ -91,13 +113,19 @@ class SccChip {
   BulkOp& bulk_op(CoreId id);
 
  private:
+  /// The set_trace_sink sugar: a chain member owned by the chip.
+  struct TraceSinkObserver final : TransactionObserver {
+    TraceSink sink;
+    void on_complete(const TraceEvent& event) override { sink(event); }
+  };
+
   static sim::Task<void> invoke_program(
       std::function<sim::Task<void>(Core&)> program, Core& core);
   static std::string describe_core(void* core);
 
   void refresh_coalescing() {
-    coalescing_active_ = config_.coalescing && config_.jitter == 0 &&
-                         fault_hook_ == nullptr && !trace_sink_;
+    coalescing_active_ =
+        config_.coalescing && config_.jitter == 0 && observers_.empty();
   }
 
   SccConfig config_;
@@ -110,8 +138,9 @@ class SccChip {
       mc_ports_;
   std::array<std::unique_ptr<Core>, kNumCores> cores_;
   std::array<std::unique_ptr<BulkOp>, kNumCores> bulk_ops_;
-  TraceSink trace_sink_;
-  FaultHook* fault_hook_ = nullptr;
+  std::vector<TransactionObserver*> observers_;
+  TraceSinkObserver trace_observer_;
+  std::array<bool, kNumCores> crash_notified_{};
   bool coalescing_active_ = false;
 };
 

@@ -138,14 +138,13 @@ std::string Core::wait_note() const {
   return note;
 }
 
-sim::Task<void> Core::fault_gate() {
-  FaultHook* hook = chip_->fault_hook();
-  const bool dead = hook->crashed(id_, now());
+sim::Task<void> Core::observer_gate() {
+  const bool dead = chip_->observer_crashed(id_, now());
   if (dead) {
     set_wait_note("halted (fail-stop)");
     co_await sim::Engine::halt_forever();
   }
-  const sim::Duration stall = hook->stall(id_, now());
+  const sim::Duration stall = chip_->observer_stall(id_, now());
   if (stall > 0) co_await chip_->engine().sleep(stall);
 }
 
@@ -156,16 +155,16 @@ sim::Duration Core::jittered(sim::Duration d) {
 }
 
 sim::Task<void> Core::busy(sim::Duration d) {
-  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  if (chip_->observing()) co_await observer_gate();
   const sim::Time t0 = now();
   co_await chip_->engine().sleep(jittered(d));
-  if (chip_->tracing()) {
-    chip_->trace({TraceOp::kBusy, id_, id_, 0, t0, now()});
+  if (chip_->observing()) {
+    chip_->observe_complete({TraceOp::kBusy, id_, id_, 0, t0, now()});
   }
 }
 
 sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& out) {
-  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  if (chip_->observing()) co_await observer_gate();
   const SccConfig& cfg = chip_->config();
   const noc::TileCoord owner_tile = noc::tile_of_core(owner);
   const sim::Time t0 = now();
@@ -182,17 +181,17 @@ sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& o
         .use(cfg.t_mpb_port, /*priority=*/id_);
   }
   out = chip_->mpb(owner).load(line);
-  if (FaultHook* hook = chip_->fault_hook()) {
-    hook->on_read({TraceOp::kMpbRead, id_, owner, line, now()}, out);
+  if (chip_->observing()) {
+    chip_->observe_read({TraceOp::kMpbRead, id_, owner, line, now()}, out);
   }
   co_await chip_->mesh().traverse(owner_tile, tile_);
-  if (chip_->tracing()) {
-    chip_->trace({TraceOp::kMpbRead, id_, owner, line, t0, now()});
+  if (chip_->observing()) {
+    chip_->observe_complete({TraceOp::kMpbRead, id_, owner, line, t0, now()});
   }
 }
 
 sim::Task<void> Core::mpb_write_line(CoreId owner, std::size_t line, CacheLine value) {
-  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  if (chip_->observing()) co_await observer_gate();
   const SccConfig& cfg = chip_->config();
   const noc::TileCoord owner_tile = noc::tile_of_core(owner);
   const sim::Time t0 = now();
@@ -209,28 +208,27 @@ sim::Task<void> Core::mpb_write_line(CoreId owner, std::size_t line, CacheLine v
   // write latency (Formula 1) one mesh traversal shorter than its
   // completion time (Formula 2).
   bool commit = true;
-  if (FaultHook* hook = chip_->fault_hook()) {
-    commit = hook->on_write({TraceOp::kMpbWrite, id_, owner, line, now()}, value);
+  if (chip_->observing()) {
+    commit = chip_->observe_write({TraceOp::kMpbWrite, id_, owner, line, now()},
+                                  value);
   }
   if (commit) chip_->mpb(owner).store(line, value);
   co_await chip_->mesh().traverse(owner_tile, tile_);
-  if (chip_->tracing()) {
-    chip_->trace({TraceOp::kMpbWrite, id_, owner, line, t0, now()});
+  if (chip_->observing()) {
+    chip_->observe_complete({TraceOp::kMpbWrite, id_, owner, line, t0, now()});
   }
 }
 
 sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
-  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  if (chip_->observing()) co_await observer_gate();
   const SccConfig& cfg = chip_->config();
   const sim::Time t0 = now();
   if (cfg.cache_enabled && cache_.lookup(offset)) {
     co_await core_overhead(cfg.o_cache_hit);
     out = chip_->memory(id_).load(offset);
-    if (FaultHook* hook = chip_->fault_hook()) {
-      hook->on_read({TraceOp::kCacheHit, id_, id_, offset, now()}, out);
-    }
-    if (chip_->tracing()) {
-      chip_->trace({TraceOp::kCacheHit, id_, id_, offset, t0, now()});
+    if (chip_->observing()) {
+      chip_->observe_read({TraceOp::kCacheHit, id_, id_, offset, now()}, out);
+      chip_->observe_complete({TraceOp::kCacheHit, id_, id_, offset, t0, now()});
     }
     co_return;
   }
@@ -238,18 +236,18 @@ sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
   co_await chip_->mesh().traverse(tile_, mc_tile_);
   co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
   out = chip_->memory(id_).load(offset);
-  if (FaultHook* hook = chip_->fault_hook()) {
-    hook->on_read({TraceOp::kMemRead, id_, id_, offset, now()}, out);
+  if (chip_->observing()) {
+    chip_->observe_read({TraceOp::kMemRead, id_, id_, offset, now()}, out);
   }
   if (cfg.cache_enabled) cache_.insert(offset);
   co_await chip_->mesh().traverse(mc_tile_, tile_);
-  if (chip_->tracing()) {
-    chip_->trace({TraceOp::kMemRead, id_, id_, offset, t0, now()});
+  if (chip_->observing()) {
+    chip_->observe_complete({TraceOp::kMemRead, id_, id_, offset, t0, now()});
   }
 }
 
 sim::Task<void> Core::mem_write_line(std::size_t offset, CacheLine value) {
-  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  if (chip_->observing()) co_await observer_gate();
   const SccConfig& cfg = chip_->config();
   const sim::Time t0 = now();
   // Write-through with allocate: the written line is warm afterwards (the
@@ -258,14 +256,15 @@ sim::Task<void> Core::mem_write_line(std::size_t offset, CacheLine value) {
   co_await chip_->mesh().traverse(tile_, mc_tile_);
   co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
   bool commit = true;
-  if (FaultHook* hook = chip_->fault_hook()) {
-    commit = hook->on_write({TraceOp::kMemWrite, id_, id_, offset, now()}, value);
+  if (chip_->observing()) {
+    commit = chip_->observe_write({TraceOp::kMemWrite, id_, id_, offset, now()},
+                                  value);
   }
   if (commit) chip_->memory(id_).store(offset, value);
   if (cfg.cache_enabled) cache_.insert(offset);
   co_await chip_->mesh().traverse(mc_tile_, tile_);
-  if (chip_->tracing()) {
-    chip_->trace({TraceOp::kMemWrite, id_, id_, offset, t0, now()});
+  if (chip_->observing()) {
+    chip_->observe_complete({TraceOp::kMemWrite, id_, id_, offset, t0, now()});
   }
 }
 
@@ -276,32 +275,41 @@ sim::Task<void> Core::core_overhead(sim::Duration d) {
 }
 
 sim::Task<void> Core::send_interrupt(CoreId target) {
-  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  if (chip_->observing()) co_await observer_gate();
   noc::require_core(target);
   const SccConfig& cfg = chip_->config();
   co_await core_overhead(cfg.o_ipi_send);
   co_await chip_->mesh().traverse(tile_, noc::tile_of_core(target));
   co_await chip_->engine().sleep(cfg.t_ipi_service);
+  if (chip_->observing()) {
+    chip_->observe_sync({SyncOp::kIpiSend, id_, target, 0, 0, now()});
+  }
   chip_->core(target).raise_interrupt();
   co_await chip_->mesh().traverse(noc::tile_of_core(target), tile_);
 }
 
 sim::Task<void> Core::wait_interrupt() {
-  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  if (chip_->observing()) co_await observer_gate();
   set_wait_note("irq-wait");
   while (irq_pending_ == 0) {
     co_await irq_trigger_.wait();
   }
   set_wait_note("running");
   --irq_pending_;
+  if (chip_->observing()) {
+    chip_->observe_sync({SyncOp::kIpiConsume, id_, id_, 0, 0, now()});
+  }
   co_await core_overhead(chip_->config().o_irq_entry);
 }
 
 sim::Task<bool> Core::poll_interrupt() {
-  if (chip_->fault_hook() != nullptr) co_await fault_gate();
+  if (chip_->observing()) co_await observer_gate();
   co_await core_overhead(chip_->config().o_irq_check);
   if (irq_pending_ == 0) co_return false;
   --irq_pending_;
+  if (chip_->observing()) {
+    chip_->observe_sync({SyncOp::kIpiConsume, id_, id_, 0, 0, now()});
+  }
   co_await core_overhead(chip_->config().o_irq_entry);
   co_return true;
 }

@@ -150,6 +150,12 @@ class Core {
   /// Renders the last recorded wait note, e.g. "flag-wait mpb[7]:3".
   std::string wait_note() const;
 
+  /// Collective-stage provenance for observers (the race checker stamps
+  /// violations with it). `what` must be a string literal or otherwise
+  /// outlive the run; zero simulated cost.
+  void set_stage(const char* what) { stage_ = what; }
+  const char* stage() const { return stage_; }
+
  private:
   friend class SccChip;
   void raise_interrupt() {
@@ -159,9 +165,9 @@ class Core {
 
   sim::Duration jittered(sim::Duration d);
   sim::Task<void> core_overhead(sim::Duration d);
-  /// Crash/stall gate run before each transaction when a FaultHook is
+  /// Crash/stall gate run before each transaction when any observer is
   /// installed: a crashed core parks here forever, a stalled one sleeps.
-  sim::Task<void> fault_gate();
+  sim::Task<void> observer_gate();
 
   SccChip* chip_;
   CoreId id_;
@@ -173,6 +179,7 @@ class Core {
   int irq_pending_ = 0;
   sim::Trigger irq_trigger_;
   const char* wait_what_ = "running";
+  const char* stage_ = "";
   CoreId wait_owner_ = -1;
   int wait_line_ = -1;
 };

@@ -1,0 +1,101 @@
+// The unified Core instrumentation surface.
+//
+// Every single-cache-line transaction a core executes — MPB reads/writes,
+// private-memory reads/writes, busy intervals — flows past a chain of
+// TransactionObservers installed on the chip. The chain subsumes what used
+// to be two hard-coded seams (the fault-injection hook and the trace sink)
+// and adds a third consumer, the happens-before race checker (check/).
+//
+// An observer sees a transaction up to three times:
+//   * crashed()/stall() — the pre-transaction gate (fail-stop, freezes);
+//   * on_read()/on_write() — at the instant the line access happens,
+//     with mutable access to the observed/stored value (fault injection);
+//   * on_complete() — at the transaction's completion, with the full
+//     [start, end) interval (tracing).
+// In addition, the synchronization layer (rma/flags.h and the raw flag
+// sites in the collectives) reports flag semantics via on_sync(): which
+// line transactions are releases/acquires of which value, so an observer
+// can reconstruct the happens-before order without guessing at payloads.
+//
+// Observers are non-owning and must outlive the simulation; all callbacks
+// run synchronously inside the event loop and must not re-enter it. With
+// an empty chain a transaction costs one branch, and multi-line RMA ops
+// may take the coalesced BulkOp fast path (SccChip::coalescing_active).
+#pragma once
+
+#include "common/types.h"
+#include "scc/trace.h"
+#include "sim/time.h"
+
+namespace ocb::scc {
+
+/// One line transaction as seen at the access instant (op kinds reuse
+/// TraceOp; kBusy never reaches on_read/on_write).
+struct LineTxn {
+  TraceOp op;
+  CoreId core;        ///< the core executing the transaction
+  CoreId target;      ///< MPB owner for kMpb*, otherwise == core
+  std::size_t index;  ///< MPB line or memory byte offset
+  sim::Time now;
+};
+
+/// Flag-semantics events reported by the synchronization layer.
+enum class SyncOp : std::uint8_t {
+  kHostInit,    ///< host-side flag initialization (no simulated transaction)
+  kWaitBegin,   ///< a core starts polling the line as a flag
+  kRelease,     ///< the next write of this line publishes `value`
+  kAcquire,     ///< a read of this line observed `value`
+  kIpiSend,     ///< inter-core interrupt raised at core `owner`
+  kIpiConsume,  ///< pending interrupt consumed by `core`
+  /// `core` enters a validated-read (seqlock-style) section: its line reads
+  /// are deliberately unsynchronized and checked by the protocol itself
+  /// (checksum match or discard+retry), so they do not participate in
+  /// data-race detection. Writes remain fully checked.
+  kOptimisticBegin,
+  kOptimisticEnd,  ///< leaves the validated-read section
+};
+
+struct SyncEvent {
+  SyncOp op;
+  CoreId core;        ///< the core performing the sync operation (-1 = host)
+  CoreId owner;       ///< flag line's MPB owner / interrupt target
+  std::size_t line;   ///< flag's MPB line (0 for IPI events)
+  std::uint64_t value;
+  sim::Time now;
+};
+
+class TransactionObserver {
+ public:
+  virtual ~TransactionObserver() = default;
+
+  /// Fail-stop check, consulted at every transaction boundary; returning
+  /// true parks the core's process forever (it counts as stalled).
+  virtual bool crashed(CoreId /*core*/, sim::Time /*now*/) { return false; }
+
+  /// Extra stall charged to `core` before its next transaction (0 = none).
+  virtual sim::Duration stall(CoreId /*core*/, sim::Time /*now*/) { return 0; }
+
+  /// May mutate the value a read observes; the backing storage keeps the
+  /// original bytes.
+  virtual void on_read(const LineTxn& /*txn*/, CacheLine& /*value*/) {}
+
+  /// May mutate the value about to be stored, or suppress the store by
+  /// returning false (a lost write / stuck line). Every observer in the
+  /// chain is consulted; the store commits only if all agree.
+  virtual bool on_write(const LineTxn& /*txn*/, CacheLine& /*value*/) {
+    return true;
+  }
+
+  /// Transaction completed; `event` carries the full [start, end) interval.
+  virtual void on_complete(const TraceEvent& /*event*/) {}
+
+  /// Flag/interrupt semantics from the synchronization layer.
+  virtual void on_sync(const SyncEvent& /*event*/) {}
+
+  /// Broadcast once per core, the first time any observer in the chain
+  /// reports it crashed() — lets passive observers (the race checker)
+  /// retire the core's recorded accesses under fail-stop semantics.
+  virtual void on_crash(CoreId /*core*/, sim::Time /*now*/) {}
+};
+
+}  // namespace ocb::scc

@@ -55,6 +55,24 @@ std::string JsonTraceCollector::to_json() const {
     out += std::to_string(e.index);
     out += "}}";
   }
+  std::size_t flow_id = 0;
+  for (const Flow& fl : flows_) {
+    ++flow_id;
+    for (int half = 0; half < 2; ++half) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      out += fl.name;
+      out += half == 0 ? "\",\"ph\":\"s\",\"cat\":\"race\",\"pid\":0,\"tid\":"
+                       : "\",\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"race\",\"pid\":0,\"tid\":";
+      out += std::to_string(half == 0 ? fl.from_core : fl.to_core);
+      out += ",\"ts\":";
+      append_us(out, half == 0 ? fl.from_time : fl.to_time);
+      out += ",\"id\":";
+      out += std::to_string(flow_id);
+      out += "}";
+    }
+  }
   out += "],\"displayTimeUnit\":\"ns\"}\n";
   return out;
 }

@@ -21,14 +21,31 @@ namespace ocb::scc {
 
 class JsonTraceCollector {
  public:
+  /// A cross-core arrow in the rendered timeline ("ph":"s" → "ph":"f"
+  /// flow-event pair). The race checker emits one per violation, linking
+  /// the two conflicting transactions.
+  struct Flow {
+    std::string name;
+    CoreId from_core;
+    sim::Time from_time;
+    CoreId to_core;
+    sim::Time to_time;
+  };
+
   /// A sink to install with SccChip::set_trace_sink. The collector must
   /// outlive the chip's use of the sink.
   TraceSink sink() {
     return [this](const TraceEvent& e) { events_.push_back(e); };
   }
 
+  void add_flow(Flow flow) { flows_.push_back(std::move(flow)); }
+
   const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  const std::vector<Flow>& flows() const { return flows_; }
+  void clear() {
+    events_.clear();
+    flows_.clear();
+  }
 
   /// Renders the buffered events as a complete trace_event JSON document.
   std::string to_json() const;
@@ -38,6 +55,7 @@ class JsonTraceCollector {
 
  private:
   std::vector<TraceEvent> events_;
+  std::vector<Flow> flows_;
 };
 
 }  // namespace ocb::scc

@@ -223,7 +223,7 @@ TEST(FtOcBcast, DeliveryReportsArePopulated) {
 
   scc::SccChip chip(spec.config);
   fault::FaultInjector injector(spec.plan);
-  chip.set_fault_hook(&injector);
+  chip.add_observer(&injector);
   core::FtOcBcast bcast(chip, spec.ft);
   auto region = chip.memory(0).host_bytes(0, spec.message_bytes);
   for (std::size_t i = 0; i < region.size(); ++i) {
