@@ -3,10 +3,14 @@
 // 1..192 cache lines. Prints the full series, the paper's headline checks
 // (k=7 at least 27% better than binomial at 1 line; k=7 ~25% better than
 // k=2 for 96..192 lines; k=7 and k=47 nearly overlap), and writes CSV.
+// With --json_out=PATH, runs the series once and writes the same points as
+// a machine-readable JSON record instead of the benchmark mode.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "harness/paper_data.h"
 #include "harness/report.h"
@@ -99,9 +103,48 @@ void print_tables() {
               oc47_96 / oc7_96);
 }
 
+// Machine-readable form of the same sweep: one record per (series, size)
+// point with the measured latency. Schema "ocb-bench-fig8a-v1".
+int json_out_mode(const std::string& path) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"ocb-bench-fig8a-v1\",\n  \"points\": [\n";
+  bool first = true;
+  for (int s = 0; s < 4; ++s) {
+    for (std::size_t lines : harness::small_message_sizes()) {
+      std::fprintf(stderr, "running %s, %zu lines...\n",
+                   spec_for(s).label.c_str(), lines);
+      const harness::SeriesPoint& p = point_for(s, lines);
+      if (!first) out << ",\n";
+      first = false;
+      char latency[64];
+      std::snprintf(latency, sizeof(latency), "%.3f", p.latency_us);
+      out << "    {\"series\": \"" << spec_for(s).label
+          << "\", \"lines\": " << lines << ", \"latency_us\": " << latency
+          << ", \"verified\": " << (p.content_ok ? "true" : "false") << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  file << out.str();
+  std::printf("%s", out.str().c_str());
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      return json_out_mode(arg.substr(std::string("--json_out=").size()));
+    }
+  }
   for (int s = 0; s < 4; ++s) {
     for (long lines : {1L, 48L, 96L, 144L, 192L}) {
       benchmark::RegisterBenchmark("fig8a/latency", &bench_point)

@@ -3,10 +3,14 @@
 // 1 line to 32768 lines (1 MiB), log-spaced, plus the 96/97-line pair that
 // exposes the partial-chunk dip the paper highlights. Also compares peak
 // throughput and the k=47 contention penalty against the model.
+// With --json_out=PATH, runs the series once and writes the same points as
+// a machine-readable JSON record instead of the benchmark mode.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "harness/paper_data.h"
 #include "harness/report.h"
@@ -99,9 +103,48 @@ void print_tables() {
               peak_oc7 / m.ocbcast_throughput_mbps(7));
 }
 
+// Machine-readable form of the same sweep: one record per (series, size)
+// point with the measured throughput. Schema "ocb-bench-fig8b-v1".
+int json_out_mode(const std::string& path) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"ocb-bench-fig8b-v1\",\n  \"points\": [\n";
+  bool first = true;
+  for (int s = 0; s < 4; ++s) {
+    for (std::size_t lines : harness::large_message_sizes()) {
+      std::fprintf(stderr, "running %s, %zu lines...\n",
+                   spec_for(s).label.c_str(), lines);
+      const harness::SeriesPoint& p = point_for(s, lines);
+      if (!first) out << ",\n";
+      first = false;
+      char mbps[64];
+      std::snprintf(mbps, sizeof(mbps), "%.3f", p.throughput_mbps);
+      out << "    {\"series\": \"" << spec_for(s).label
+          << "\", \"lines\": " << lines << ", \"throughput_mbps\": " << mbps
+          << ", \"verified\": " << (p.content_ok ? "true" : "false") << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  file << out.str();
+  std::printf("%s", out.str().c_str());
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      return json_out_mode(arg.substr(std::string("--json_out=").size()));
+    }
+  }
   for (int s = 0; s < 4; ++s) {
     for (long lines : {1L, 96L, 97L, 1024L, 32768L}) {
       benchmark::RegisterBenchmark("fig8b/throughput", &bench_point)

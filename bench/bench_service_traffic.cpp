@@ -1,0 +1,176 @@
+// Service traffic sweep — offered load x message size through ocb::svc.
+//
+// Each point runs a fixed-length request stream (32 requests, Poisson
+// arrivals, roots drawn uniformly from all 48 cores) through the
+// multi-root broadcast service with two MPB slots and FIFO admission, and
+// reports the SLO metrics: p50/p99/p999 arrival->completion latency,
+// queue-wait, goodput, and rejections. Offered load is swept via the mean
+// inter-arrival gap (10/30/100 us), message size via four mixes (pure
+// 32 B, pure 4 KiB, pure 32 KiB, and the 2:2:1 mixed stream the smoke
+// test uses). The interesting shape: as the gap shrinks below the
+// per-request service time, queue-wait — not service time — starts to
+// dominate the tail.
+//
+// Two modes:
+//   (default)        google-benchmark over every (gap, mix) point, then a
+//                    human-readable p50/p99 table on stdout
+//   --json_out=PATH  run the sweep once and write every point's full
+//                    "ocb-service-metrics-v1" record plus its config echo;
+//                    results/bench_service_traffic.json is the committed
+//                    copy (see EXPERIMENTS.md)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace {
+
+using namespace ocb;
+
+struct MixSpec {
+  std::string label;
+  std::vector<svc::SizeClass> sizes;
+};
+
+const std::vector<MixSpec>& mixes() {
+  static const std::vector<MixSpec> m = {
+      {"small_32B", {{32, 1}}},
+      {"medium_4KiB", {{4096, 1}}},
+      {"large_32KiB", {{32768, 1}}},
+      {"mixed_2_2_1", {{32, 2}, {4096, 2}, {32768, 1}}},
+  };
+  return m;
+}
+
+const std::vector<std::uint64_t>& gaps_ns() {
+  static const std::vector<std::uint64_t> g = {10'000, 30'000, 100'000};
+  return g;
+}
+
+svc::TrafficSpec traffic_for(std::size_t mix, std::uint64_t gap_ns) {
+  svc::TrafficSpec traffic;
+  traffic.requests = 32;
+  traffic.mean_gap_ns = gap_ns;
+  traffic.sizes = mixes()[mix].sizes;
+  traffic.seed = 2026;
+  return traffic;
+}
+
+// One service run per (mix, gap) point, cached so the benchmark mode, the
+// table, and --json_out all reuse the same deterministic result.
+const svc::ServiceMetrics& point_for(std::size_t mix, std::uint64_t gap_ns) {
+  static std::map<std::pair<std::size_t, std::uint64_t>, svc::ServiceMetrics>
+      cache;
+  const auto key = std::make_pair(mix, gap_ns);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, svc::run_service(svc::ServiceConfig{},
+                                            traffic_for(mix, gap_ns)))
+             .first;
+  }
+  return it->second;
+}
+
+void print_tables() {
+  std::printf("\n=== Service traffic sweep: arrival->completion latency ===\n");
+  std::printf("%-14s %10s %12s %12s %12s %10s %9s\n", "mix", "gap_us",
+              "p50_us", "p99_us", "q_wait_p99", "MB/s", "rejected");
+  for (std::size_t mix = 0; mix < mixes().size(); ++mix) {
+    for (std::uint64_t gap : gaps_ns()) {
+      const svc::ServiceMetrics& m = point_for(mix, gap);
+      std::printf("%-14s %10.0f %12.1f %12.1f %12.1f %10.2f %9llu\n",
+                  mixes()[mix].label.c_str(), gap / 1e3, m.latency_ns.p50() / 1e3,
+                  m.latency_ns.p99() / 1e3, m.queue_wait_ns.p99() / 1e3,
+                  m.throughput_mbps(),
+                  static_cast<unsigned long long>(m.rejected));
+    }
+  }
+  std::printf(
+      "\n(32 requests per point, 2 MPB slots, FIFO admission, seed 2026; "
+      "queue-wait dominates the tail once the gap drops below the service "
+      "time.)\n");
+}
+
+int json_out_mode(const std::string& path) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"ocb-bench-service-traffic-v1\",\n"
+      << "  \"points\": [\n";
+  bool first = true;
+  for (std::size_t mix = 0; mix < mixes().size(); ++mix) {
+    for (std::uint64_t gap : gaps_ns()) {
+      std::fprintf(stderr, "running %s gap=%lluns...\n",
+                   mixes()[mix].label.c_str(),
+                   static_cast<unsigned long long>(gap));
+      const svc::ServiceMetrics& m = point_for(mix, gap);
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\n"
+          << "      \"mix\": \"" << mixes()[mix].label << "\",\n"
+          << "      \"mean_gap_ns\": " << gap << ",\n"
+          << "      \"requests\": 32,\n"
+          << "      \"slots\": 2,\n"
+          << "      \"policy\": \"fifo\",\n"
+          << "      \"seed\": 2026,\n"
+          << "      \"metrics\": " << m.to_json() << "\n"
+          << "    }";
+    }
+  }
+  out << "\n  ]\n}\n";
+
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  file << out.str();
+  std::printf("%s", out.str().c_str());
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+void bench_point(benchmark::State& state) {
+  const auto mix = static_cast<std::size_t>(state.range(0));
+  const auto gap = static_cast<std::uint64_t>(state.range(1));
+  for (auto _ : state) {
+    const svc::ServiceMetrics& m = point_for(mix, gap);
+    state.SetIterationTime(static_cast<double>(m.makespan) /
+                           (1e6 * sim::kMicrosecond));
+    state.counters["latency_p99_us"] = m.latency_ns.p99() / 1e3;
+    state.counters["queue_wait_p99_us"] = m.queue_wait_ns.p99() / 1e3;
+    state.counters["throughput_mbps"] = m.throughput_mbps();
+    state.counters["rejected"] = static_cast<double>(m.rejected);
+  }
+  state.SetLabel(mixes()[mix].label + " gap=" + std::to_string(gap) + "ns");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json_out=", 0) == 0) {
+      return json_out_mode(arg.substr(std::string("--json_out=").size()));
+    }
+  }
+  for (std::size_t mix = 0; mix < mixes().size(); ++mix) {
+    for (std::uint64_t gap : gaps_ns()) {
+      benchmark::RegisterBenchmark("service/traffic", &bench_point)
+          ->Args({static_cast<long>(mix), static_cast<long>(gap)})
+          ->UseManualTime()
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}

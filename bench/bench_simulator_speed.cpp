@@ -26,6 +26,7 @@
 
 #include "harness/fault_sweep.h"
 #include "harness/measurement.h"
+#include "svc/service.h"
 
 namespace {
 
@@ -57,6 +58,19 @@ harness::FaultRunSpec fault_spec() {
   spec.ft.parties = kNumCores;
   spec.plan.rates.mpb_read = 1e-5;
   return spec;
+}
+
+// The tests/service_test.cpp smoke scenario at bench size: a mixed-size
+// request stream through the multi-root broadcast service (two MPB slots,
+// FIFO admission). Exercises the multiplexed-core slow path, where the
+// coalesced-RMA fast path steps aside for concurrent collectives.
+svc::TrafficSpec service_traffic() {
+  svc::TrafficSpec traffic;
+  traffic.requests = 24;
+  traffic.mean_gap_ns = 30'000;
+  traffic.sizes = {{kCacheLineBytes, 2}, {4096, 2}, {32768, 1}};
+  traffic.seed = 2026;
+  return traffic;
 }
 
 std::vector<std::uint64_t> fault_seeds() {
@@ -143,6 +157,17 @@ WorkloadRecord run_fig4_workload() {
   });
 }
 
+WorkloadRecord run_service_workload() {
+  return best_of("service_mixed_load", 5, [] {
+    const svc::ServiceMetrics m =
+        svc::run_service(svc::ServiceConfig{}, service_traffic());
+    WorkloadRecord w;
+    w.events = m.engine_events;
+    w.max_queue_depth = m.engine_max_queue_depth;
+    return w;
+  });
+}
+
 WorkloadRecord run_fault_sweep_workload() {
   return best_of("fault_sweep_20seeds", 1, [] {
     const harness::FaultSweepResult r =
@@ -182,6 +207,8 @@ int json_out_mode(const std::string& path) {
   records.push_back(run_ocbcast_checked_workload());
   std::fprintf(stderr, "running fig4_point_48cores...\n");
   records.push_back(run_fig4_workload());
+  std::fprintf(stderr, "running service_mixed_load...\n");
+  records.push_back(run_service_workload());
   std::fprintf(stderr, "running fault_sweep_20seeds...\n");
   records.push_back(run_fault_sweep_workload());
 
@@ -301,6 +328,20 @@ void bench_contention_experiment(benchmark::State& state) {
 BENCHMARK(bench_contention_experiment)
     ->Unit(benchmark::kMillisecond)
     ->Name("simulator/fig4_point_48cores");
+
+void bench_service_traffic_point(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const svc::ServiceMetrics m =
+        svc::run_service(svc::ServiceConfig{}, service_traffic());
+    events += m.engine_events;
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bench_service_traffic_point)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("simulator/service_mixed_load");
 
 void bench_fault_sweep(benchmark::State& state) {
   for (auto _ : state) {

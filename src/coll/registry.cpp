@@ -28,6 +28,7 @@ std::map<std::string, Factory>& table() {
       o.double_buffering = p.double_buffering;
       o.leaf_direct_to_memory = p.leaf_direct_to_memory;
       o.sequential_notification = p.sequential_notification;
+      o.mpb_base_line = p.mpb_base_line;
       return std::unique_ptr<Collective>(new core::OcBcast(chip, o));
     };
     m["binomial"] = [](scc::SccChip& chip, const Params& p) {
@@ -44,6 +45,7 @@ std::map<std::string, Factory>& table() {
     m["onesided-sag"] = [](scc::SccChip& chip, const Params& p) {
       core::OneSidedSagOptions o;
       o.parties = p.parties;
+      o.mpb_base_line = p.mpb_base_line;
       return std::unique_ptr<Collective>(
           new core::OneSidedScatterAllgather(chip, o));
     };
@@ -53,6 +55,7 @@ std::map<std::string, Factory>& table() {
       o.k = p.k;
       o.chunk_lines = p.chunk_lines;
       o.double_buffering = p.double_buffering;
+      o.mpb_base_line = p.mpb_base_line;
       return std::unique_ptr<Collective>(new core::FtOcBcast(chip, o));
     };
     return m;
@@ -80,8 +83,14 @@ std::vector<std::string> names() {
 std::unique_ptr<Collective> make(const std::string& name, scc::SccChip& chip,
                                  const Params& params) {
   const auto it = table().find(name);
-  OCB_REQUIRE(it != table().end(),
-              "unknown collective (see coll::names for the registry)");
+  if (it == table().end()) {
+    std::string msg = "unknown collective '" + name + "'; registered:";
+    for (const auto& [registered_name, factory] : table()) {
+      msg += ' ';
+      msg += registered_name;
+    }
+    OCB_REQUIRE(false, msg);
+  }
   return it->second(chip, params);
 }
 

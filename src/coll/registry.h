@@ -32,6 +32,10 @@ struct Params {
   bool double_buffering = true;
   bool leaf_direct_to_memory = false;
   bool sequential_notification = false;
+  /// First MPB line of the instance's layout. The broadcast service leases
+  /// disjoint line ranges (mem/mpb_slots.h) so concurrent collectives never
+  /// overlap buffers; honored by "ocbcast", "ft-ocbcast", "onesided-sag".
+  std::size_t mpb_base_line = 0;
 };
 
 using Factory =
@@ -48,9 +52,11 @@ bool registered(const std::string& name);
 std::vector<std::string> names();
 
 /// Instantiates `name` over `chip`. Algorithms own their MPB layout and
-/// protocol state; run at most one instance per chip lifetime (their flag
-/// lines overlap by design — each assumes exclusive use). Aborts (via
-/// OCB_REQUIRE) on an unknown name.
+/// protocol state starting at params.mpb_base_line; instances with
+/// overlapping line ranges must not run concurrently (the broadcast
+/// service guarantees disjoint ranges via MPB slot leases). Throws
+/// ocb::PreconditionError naming the registered algorithms on an unknown
+/// name.
 std::unique_ptr<Collective> make(const std::string& name, scc::SccChip& chip,
                                  const Params& params = {});
 

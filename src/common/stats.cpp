@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/require.h"
@@ -41,6 +42,60 @@ double RunningStats::min() const {
 double RunningStats::max() const {
   OCB_REQUIRE(n_ > 0, "max of empty accumulator");
   return max_;
+}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t sample) {
+  if (sample < 8) return static_cast<std::size_t>(sample);
+  // sample in [2^e, 2^(e+1)), e >= 3: 8 sub-buckets selected by the three
+  // bits below the top bit. At e == 3 this degenerates to the unit buckets
+  // 8..15, so indices are contiguous across the boundary.
+  const int e = 63 - std::countl_zero(sample);
+  const auto sub = static_cast<std::size_t>((sample >> (e - 3)) & 7);
+  return 8 + static_cast<std::size_t>(e - 3) * kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_lower_bound(std::size_t index) {
+  OCB_REQUIRE(index < kBuckets, "bucket index out of range");
+  if (index < 8) return index;
+  const int e = 3 + static_cast<int>((index - 8) / kSubBuckets);
+  const std::uint64_t sub = (index - 8) % kSubBuckets;
+  return (1ULL << e) + sub * (1ULL << (e - 3));
+}
+
+void LatencyHistogram::add(std::uint64_t sample) {
+  ++buckets_[bucket_index(sample)];
+  ++count_;
+  sum_ += sample;
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+double LatencyHistogram::mean() const {
+  OCB_REQUIRE(count_ > 0, "mean of empty histogram");
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  OCB_REQUIRE(count_ > 0, "quantile of empty histogram");
+  OCB_REQUIRE(q > 0.0 && q <= 1.0, "quantile out of (0,1]");
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return bucket_lower_bound(i);
+  }
+  return bucket_lower_bound(kBuckets - 1);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 void SampleStats::add(double x) {

@@ -3,6 +3,7 @@
 // simulated-time samples).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -27,6 +28,52 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Streaming latency histogram with fixed log-scale buckets.
+///
+/// Samples are nonnegative 64-bit integers (the service records simulated
+/// picoseconds). Buckets are HDR-style: values below 8 get exact unit
+/// buckets; above that, 8 sub-buckets per power of two, so every bucket's
+/// width is at most 12.5% of its lower edge. Bucketing is pure integer bit
+/// arithmetic — no logarithms — so identical inputs give identical
+/// quantiles on every platform, which the service's same-seed ⇒
+/// bit-identical-metrics guarantee relies on.
+///
+/// O(1) add, fixed 496-bucket footprint regardless of sample count, and
+/// nearest-rank quantiles reported as the holding bucket's lower edge
+/// (deterministic; min/max/mean stay exact).
+class LatencyHistogram {
+ public:
+  void add(std::uint64_t sample);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Lower edge of the bucket holding the q-quantile sample
+  /// (nearest-rank; q in (0, 1]). Zero when empty.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  std::uint64_t p999() const { return quantile(0.999); }
+
+  /// Merges another histogram into this one (bucket-wise).
+  void merge(const LatencyHistogram& other);
+
+  // Bucket geometry (exposed for tests).
+  static constexpr std::size_t kSubBuckets = 8;  ///< per power of two
+  static constexpr std::size_t kBuckets = 8 + 61 * kSubBuckets;
+  static std::size_t bucket_index(std::uint64_t sample);
+  static std::uint64_t bucket_lower_bound(std::size_t index);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
 };
 
 /// Sample-retaining accumulator: adds exact percentiles on top of

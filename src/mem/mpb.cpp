@@ -30,4 +30,13 @@ CacheLine& MpbStorage::host_line(std::size_t line) {
   return lines_[line];
 }
 
+void MpbStorage::host_clear_lines(std::size_t first, std::size_t count) {
+  OCB_REQUIRE(first + count <= kMpbCacheLines, "MPB line range out of range");
+  for (std::size_t i = 0; i < count; ++i) {
+    OCB_ENSURE(!line_has_waiters(first + i),
+               "host-clearing an MPB line a coroutine is parked on");
+    lines_[first + i] = CacheLine{};
+  }
+}
+
 }  // namespace ocb::mem

@@ -52,6 +52,14 @@ class MpbStorage {
   /// triggers and takes no simulated time.
   CacheLine& host_line(std::size_t line);
 
+  /// Host-side zero-cost scrub of [first, first+count): the slot allocator
+  /// (mem/mpb_slots.h) clears a lease's lines before handing them to a new
+  /// collective, so a stale flag value from the previous occupant can never
+  /// satisfy the newcomer's waits. Does not fire triggers — callers must
+  /// guarantee no coroutine is parked on the range (the service releases a
+  /// lease only after every participant returned).
+  void host_clear_lines(std::size_t first, std::size_t count);
+
   static constexpr std::size_t capacity_lines() { return kMpbCacheLines; }
 
  private:

@@ -1,0 +1,62 @@
+#include "mem/mpb_slots.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace ocb::mem {
+
+MpbSlotAllocator::MpbSlotAllocator(std::size_t base_line,
+                                   std::size_t slot_lines, int slot_count)
+    : base_line_(base_line), slot_lines_(slot_lines) {
+  OCB_REQUIRE(slot_lines >= 1, "slots must be at least one line");
+  OCB_REQUIRE(slot_count >= 1, "need at least one slot");
+  OCB_REQUIRE(base_line + slot_lines * static_cast<std::size_t>(slot_count) <=
+                  kMpbCacheLines,
+              "slot partition exceeds the 256-line MPB");
+  in_use_.assign(static_cast<std::size_t>(slot_count), false);
+  generations_.assign(static_cast<std::size_t>(slot_count), 0);
+}
+
+std::optional<MpbLease> MpbSlotAllocator::acquire() {
+  for (std::size_t s = 0; s < in_use_.size(); ++s) {
+    if (in_use_[s]) continue;
+    in_use_[s] = true;
+    MpbLease lease;
+    lease.slot = static_cast<int>(s);
+    lease.base_line = base_line_ + s * slot_lines_;
+    lease.lines = slot_lines_;
+    lease.generation = generations_[s]++;
+    return lease;
+  }
+  return std::nullopt;
+}
+
+void MpbSlotAllocator::release(const MpbLease& lease) {
+  OCB_REQUIRE(lease.slot >= 0 &&
+                  lease.slot < static_cast<int>(in_use_.size()),
+              "releasing a lease from a different allocator");
+  const auto s = static_cast<std::size_t>(lease.slot);
+  OCB_REQUIRE(in_use_[s], "double release of an MPB slot lease");
+  OCB_REQUIRE(lease.generation + 1 == generations_[s],
+              "releasing a stale lease (slot was re-granted)");
+  in_use_[s] = false;
+}
+
+int MpbSlotAllocator::slots_free() const {
+  return static_cast<int>(std::count(in_use_.begin(), in_use_.end(), false));
+}
+
+bool MpbSlotAllocator::in_use(int slot) const {
+  OCB_REQUIRE(slot >= 0 && slot < static_cast<int>(in_use_.size()),
+              "slot index out of range");
+  return in_use_[static_cast<std::size_t>(slot)];
+}
+
+std::uint64_t MpbSlotAllocator::generation(int slot) const {
+  OCB_REQUIRE(slot >= 0 && slot < static_cast<int>(generations_.size()),
+              "slot index out of range");
+  return generations_[static_cast<std::size_t>(slot)];
+}
+
+}  // namespace ocb::mem

@@ -1,0 +1,76 @@
+// MPB slot allocator: leases of per-core MPB line ranges.
+//
+// Every collective in core/ lays its flags and staging buffers out at a
+// configurable `mpb_base_line`, but historically each instance assumed the
+// whole 256-line MPB — a second in-flight broadcast would trample the
+// first's buffer reuse. The allocator makes concurrent collectives safe by
+// partitioning each core's MPB into fixed-size SLOTS: a lease grants the
+// same [base_line, base_line + slot_lines) range on EVERY core's MPB
+// (collective layouts are symmetric across cores), and two live leases
+// never overlap by construction.
+//
+// Lifecycle contract (enforced by ocb::svc, testable on its own):
+//   * acquire() — lowest-numbered free slot, or nullopt when all are busy
+//     (the service queues the request: admission control);
+//   * the holder scrubs the slot's lines (MpbStorage::host_clear_lines)
+//     before first use so stale flag values from the previous occupant
+//     cannot satisfy a new collective's waits;
+//   * release() — only after every participant of the collective returned,
+//     i.e. no coroutine can still be parked on (or writing) the range.
+//
+// Each slot carries a GENERATION, the number of grants so far. The service
+// uses it to tell the race checker that a recycled slot's new occupant
+// causally follows the previous one (see svc/service.cpp, "handoff edge").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ocb::mem {
+
+/// One leased span of MPB lines, identical on every core's MPB.
+struct MpbLease {
+  int slot = -1;
+  std::size_t base_line = 0;
+  std::size_t lines = 0;
+  /// Grants of this slot before this one (0 = first occupant).
+  std::uint64_t generation = 0;
+};
+
+class MpbSlotAllocator {
+ public:
+  /// Partitions lines [base_line, base_line + slot_count * slot_lines)
+  /// into `slot_count` slots. The range must fit the 256-line MPB.
+  MpbSlotAllocator(std::size_t base_line, std::size_t slot_lines,
+                   int slot_count);
+
+  /// Leases the lowest-numbered free slot; nullopt when none is free.
+  std::optional<MpbLease> acquire();
+
+  /// Returns a slot to the pool. The lease must be the one acquire()
+  /// handed out (same slot and generation) and still outstanding.
+  void release(const MpbLease& lease);
+
+  int slots_total() const { return static_cast<int>(in_use_.size()); }
+  int slots_free() const;
+  bool in_use(int slot) const;
+  std::uint64_t generation(int slot) const;
+
+  std::size_t base_line() const { return base_line_; }
+  std::size_t slot_lines() const { return slot_lines_; }
+  /// First MPB line past the partition (free for other reservations).
+  std::size_t end_line() const {
+    return base_line_ + slot_lines_ * in_use_.size();
+  }
+
+ private:
+  std::size_t base_line_;
+  std::size_t slot_lines_;
+  std::vector<bool> in_use_;
+  std::vector<std::uint64_t> generations_;
+};
+
+}  // namespace ocb::mem

@@ -23,14 +23,17 @@ void require_mem_offset(std::size_t offset) {
 // it — timing-identical by construction, asserted by
 // tests/coalescing_equivalence_test.cpp — and otherwise the per-line loop,
 // which is the reference semantics (and the only path that fault hooks,
-// trace sinks, and jitter ever see).
+// trace sinks, and jitter ever see). The in_flight() check covers cores
+// multiplexing several collectives (svc/): the per-core BulkOp serves one
+// op at a time, so an op that finds it busy runs the per-line path, which
+// interleaves with the in-flight chain exactly like two reference ops.
 
 sim::Task<void> put_mpb_to_mpb(scc::Core& self, MpbAddr dst, std::size_t src_line,
                                std::size_t lines) {
   require_mpb_range(src_line, lines);
   require_mpb_range(dst.line, lines);
   scc::SccChip& chip = self.chip();
-  if (chip.coalescing_active()) {
+  if (chip.coalescing_active() && !chip.bulk_op(self.id()).in_flight()) {
     co_await chip.bulk_op(self.id()).run(scc::BulkKind::kPutMpbToMpb,
                                          chip.config().o_put_mpb, dst.owner,
                                          dst.line, src_line, lines);
@@ -49,7 +52,7 @@ sim::Task<void> put_mem_to_mpb(scc::Core& self, MpbAddr dst, std::size_t src_off
   require_mem_offset(src_offset);
   require_mpb_range(dst.line, lines);
   scc::SccChip& chip = self.chip();
-  if (chip.coalescing_active()) {
+  if (chip.coalescing_active() && !chip.bulk_op(self.id()).in_flight()) {
     co_await chip.bulk_op(self.id()).run(scc::BulkKind::kPutMemToMpb,
                                          chip.config().o_put_mem, dst.owner,
                                          dst.line, src_offset, lines);
@@ -68,7 +71,7 @@ sim::Task<void> get_mpb_to_mpb(scc::Core& self, std::size_t dst_line, MpbAddr sr
   require_mpb_range(src.line, lines);
   require_mpb_range(dst_line, lines);
   scc::SccChip& chip = self.chip();
-  if (chip.coalescing_active()) {
+  if (chip.coalescing_active() && !chip.bulk_op(self.id()).in_flight()) {
     co_await chip.bulk_op(self.id()).run(scc::BulkKind::kGetMpbToMpb,
                                          chip.config().o_get_mpb, src.owner,
                                          src.line, dst_line, lines);
@@ -87,7 +90,7 @@ sim::Task<void> get_mpb_to_mem(scc::Core& self, std::size_t dst_offset, MpbAddr 
   require_mem_offset(dst_offset);
   require_mpb_range(src.line, lines);
   scc::SccChip& chip = self.chip();
-  if (chip.coalescing_active()) {
+  if (chip.coalescing_active() && !chip.bulk_op(self.id()).in_flight()) {
     co_await chip.bulk_op(self.id()).run(scc::BulkKind::kGetMpbToMem,
                                          chip.config().o_get_mem, src.owner,
                                          src.line, dst_offset, lines);

@@ -1,5 +1,6 @@
 #include "scc/bulk.h"
 
+#include "common/require.h"
 #include "mem/mpb.h"
 #include "mem/private_memory.h"
 #include "noc/memctrl.h"
@@ -91,6 +92,8 @@ BulkOp::Awaiter BulkOp::run(BulkKind kind, sim::Duration op_overhead,
 }
 
 void BulkOp::launch() {
+  OCB_ENSURE(!in_flight_, "BulkOp reused while an op is in flight");
+  in_flight_ = true;
   line_ = 0;
   half_idx_ = 0;
   // The per-line path pays the op's software overhead via busy(); with zero
@@ -138,6 +141,8 @@ bool BulkOp::try_quiescent(sim::Time start) {
       t = h.cross ? mesh.reserve_path(done, h.dst_tile, tile_) : done + l_hop_;
     }
   }
+  // The op's effects are fully booked; only the caller's resume remains.
+  in_flight_ = false;
   chip_->engine().schedule(t, cont_);
   return true;
 }
@@ -178,7 +183,9 @@ void BulkOp::advance() {
     return;
   }
   // Op complete. The reference resumes the caller inline from this event
-  // (co_return chains through the coroutine frames, no extra event).
+  // (co_return chains through the coroutine frames, no extra event). Clear
+  // in_flight first: the resumed caller may start this core's next op.
+  in_flight_ = false;
   cont_.resume();
 }
 

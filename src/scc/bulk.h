@@ -102,9 +102,16 @@ class BulkOp {
   /// coroutine resumes at exactly the completion time the per-line path
   /// would produce. `op_overhead` is the per-operation software cost
   /// (o_put_mpb et al.) the per-line path pays via busy(). Caller has
-  /// already validated ranges (rma.cpp does).
+  /// already validated ranges (rma.cpp does) and checked in_flight().
   Awaiter run(BulkKind kind, sim::Duration op_overhead, CoreId mpb_owner,
               std::size_t mpb_line, std::size_t local_index, std::size_t lines);
+
+  /// True while an op is running on this core's BulkOp. A plain core has at
+  /// most one RMA op in flight, but the broadcast service (svc/) multiplexes
+  /// several collective participations onto one core as interleaved
+  /// coroutines; rma.cpp routes any op that finds the BulkOp busy through
+  /// the per-line reference path instead (identical timing by construction).
+  bool in_flight() const { return in_flight_; }
 
  private:
   /// Immutable description of one half of every line transfer: half 0 reads
@@ -178,6 +185,7 @@ class BulkOp {
   std::size_t lines_ = 0;
   std::size_t line_ = 0;
   int half_idx_ = 0;
+  bool in_flight_ = false;
   std::coroutine_handle<> cont_{};
   CacheLine value_{};
 };

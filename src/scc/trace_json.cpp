@@ -22,6 +22,7 @@ std::string JsonTraceCollector::to_json() const {
   // Cores that appear in the trace, for thread_name metadata rows.
   std::vector<CoreId> cores;
   for (const TraceEvent& e : events_) cores.push_back(e.core);
+  for (const Span& s : spans_) cores.push_back(s.core);
   std::sort(cores.begin(), cores.end());
   cores.erase(std::unique(cores.begin(), cores.end()), cores.end());
 
@@ -53,6 +54,23 @@ std::string JsonTraceCollector::to_json() const {
     out += std::to_string(e.target);
     out += ",\"index\":";
     out += std::to_string(e.index);
+    out += "}}";
+  }
+  for (const Span& s : spans_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += s.name;
+    out += "\",\"ph\":\"X\",\"cat\":\"";
+    out += s.category;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(s.core);
+    out += ",\"ts\":";
+    append_us(out, s.start);
+    out += ",\"dur\":";
+    append_us(out, s.end - s.start);
+    out += ",\"args\":{";
+    out += s.args_json;
     out += "}}";
   }
   std::size_t flow_id = 0;

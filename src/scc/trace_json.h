@@ -32,6 +32,19 @@ class JsonTraceCollector {
     sim::Time to_time;
   };
 
+  /// A labelled interval on a core's timeline, rendered as a complete
+  /// ("ph":"X") event in its own category. The broadcast service emits one
+  /// span per request (arrival → completion, tid = root core) so the
+  /// request lifecycle overlays the per-transaction rows.
+  struct Span {
+    std::string name;
+    std::string category;
+    CoreId core;
+    sim::Time start;
+    sim::Time end;
+    std::string args_json;  ///< extra "args" fields, e.g. "\"bytes\":4096"
+  };
+
   /// A sink to install with SccChip::set_trace_sink. The collector must
   /// outlive the chip's use of the sink.
   TraceSink sink() {
@@ -39,12 +52,15 @@ class JsonTraceCollector {
   }
 
   void add_flow(Flow flow) { flows_.push_back(std::move(flow)); }
+  void add_span(Span span) { spans_.push_back(std::move(span)); }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::vector<Flow>& flows() const { return flows_; }
+  const std::vector<Span>& spans() const { return spans_; }
   void clear() {
     events_.clear();
     flows_.clear();
+    spans_.clear();
   }
 
   /// Renders the buffered events as a complete trace_event JSON document.
@@ -56,6 +72,7 @@ class JsonTraceCollector {
  private:
   std::vector<TraceEvent> events_;
   std::vector<Flow> flows_;
+  std::vector<Span> spans_;
 };
 
 }  // namespace ocb::scc

@@ -130,6 +130,22 @@ TEST(CheckRegistry, ShipsTheBuiltins) {
   EXPECT_NE(algo->name().find("3"), std::string::npos);
 }
 
+TEST(CheckRegistry, UnknownNameErrorListsTheRegistry) {
+  scc::SccChip chip;
+  try {
+    coll::make("no-such-algorithm", chip);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-algorithm"), std::string::npos)
+        << "names the offending key: " << msg;
+    for (const std::string& name : coll::names()) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "lists registered algorithm " << name << ": " << msg;
+    }
+  }
+}
+
 // --- the grid: every shipped collective is race-free ------------------------
 
 TEST(CheckGrid, ShippedCollectivesAreRaceFree) {

@@ -142,6 +142,93 @@ TEST(SampleStats, AddAfterPercentileStillSorted) {
   EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
 }
 
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_lower_bound(v), v);
+    h.add(v);
+  }
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+  EXPECT_EQ(h.quantile(1.0), 7u);
+}
+
+TEST(LatencyHistogram, BucketsAreMonotoneAndSelfConsistent) {
+  // Every bucket's lower bound maps back to that bucket, and sample values
+  // never land below their bucket's lower bound.
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(
+                  LatencyHistogram::bucket_lower_bound(i)),
+              i)
+        << "bucket " << i;
+    if (i > 0) {
+      EXPECT_GT(LatencyHistogram::bucket_lower_bound(i),
+                LatencyHistogram::bucket_lower_bound(i - 1));
+    }
+  }
+  for (std::uint64_t v : {9ull, 100ull, 4096ull, 123456789ull, ~0ull}) {
+    const std::size_t b = LatencyHistogram::bucket_index(v);
+    EXPECT_LE(LatencyHistogram::bucket_lower_bound(b), v);
+    if (b + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_GT(LatencyHistogram::bucket_lower_bound(b + 1), v);
+    }
+  }
+}
+
+TEST(LatencyHistogram, QuantilesWithinRelativeError) {
+  // 8 sub-buckets per octave bound the quantile's understatement to one
+  // eighth of the value.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10'000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 10'000u);
+  const std::uint64_t p50 = h.p50();
+  const std::uint64_t p99 = h.p99();
+  const std::uint64_t p999 = h.p999();
+  EXPECT_LE(p50, 5'000u);
+  EXPECT_GE(p50, 5'000u * 7 / 8);
+  EXPECT_LE(p99, 9'900u);
+  EXPECT_GE(p99, 9'900u * 7 / 8);
+  EXPECT_LE(p999, 9'990u);
+  EXPECT_GE(p999, 9'990u * 7 / 8);
+  EXPECT_GE(p999, p99);
+  EXPECT_GE(p99, p50);
+}
+
+TEST(LatencyHistogram, EmptyAndErrors) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_THROW(h.quantile(0.5), PreconditionError) << "no samples";
+  h.add(5);
+  EXPECT_THROW(h.quantile(0.0), PreconditionError);
+  EXPECT_THROW(h.quantile(1.5), PreconditionError);
+  EXPECT_EQ(h.quantile(0.5), 5u);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedStream) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t v = 0; v < 500; v += 3) {
+    a.add(v);
+    both.add(v);
+  }
+  for (std::uint64_t v = 1'000; v < 100'000; v += 997) {
+    b.add(v);
+    both.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  EXPECT_EQ(a.p50(), both.p50());
+  EXPECT_EQ(a.p99(), both.p99());
+  EXPECT_EQ(a.p999(), both.p999());
+}
+
 TEST(TextTable, AlignsColumns) {
   TextTable t({"a", "long-header"});
   t.add_row({"xxxx", "1"});

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/mpb.h"
+#include "mem/mpb_slots.h"
 #include "mem/private_memory.h"
 #include "sim/engine.h"
 
@@ -106,6 +107,84 @@ TEST(PrivateMemory, SeparateInstancesIsolated) {
   PrivateMemory a, b;
   a.store(0, line_of(1));
   EXPECT_EQ(b.load(0), CacheLine{});
+}
+
+TEST(MpbStorage, HostClearLinesZeroesWithoutTriggers) {
+  sim::Engine e;
+  MpbStorage mpb(e);
+  mpb.store(10, line_of(0xAA));
+  mpb.store(11, line_of(0xBB));
+  sim::Trigger& t = mpb.line_trigger(10);
+  const std::uint64_t epoch = t.epoch();
+  mpb.host_clear_lines(10, 2);
+  EXPECT_EQ(mpb.load(10), CacheLine{});
+  EXPECT_EQ(mpb.load(11), CacheLine{});
+  EXPECT_EQ(t.epoch(), epoch) << "host scrub must not fire line triggers";
+  EXPECT_THROW(mpb.host_clear_lines(255, 2), PreconditionError);
+}
+
+TEST(MpbSlots, LeasesAreDisjointAndLowestFirst) {
+  MpbSlotAllocator alloc(/*base_line=*/0, /*slot_lines=*/100, /*slot_count=*/2);
+  EXPECT_EQ(alloc.slots_total(), 2);
+  EXPECT_EQ(alloc.slots_free(), 2);
+  EXPECT_EQ(alloc.end_line(), 200u);
+
+  const auto a = alloc.acquire();
+  const auto b = alloc.acquire();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->slot, 0);
+  EXPECT_EQ(b->slot, 1);
+  EXPECT_EQ(a->base_line, 0u);
+  EXPECT_EQ(b->base_line, 100u);
+  EXPECT_EQ(a->lines, 100u);
+  EXPECT_EQ(alloc.slots_free(), 0);
+  EXPECT_FALSE(alloc.acquire().has_value()) << "exhausted pool yields nullopt";
+
+  alloc.release(*a);
+  EXPECT_EQ(alloc.slots_free(), 1);
+  const auto c = alloc.acquire();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->slot, 0) << "lowest-numbered free slot is granted first";
+}
+
+TEST(MpbSlots, GenerationCountsGrants) {
+  MpbSlotAllocator alloc(0, 50, 1);
+  for (std::uint64_t g = 0; g < 3; ++g) {
+    const auto lease = alloc.acquire();
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->generation, g);
+    alloc.release(*lease);
+  }
+  EXPECT_EQ(alloc.generation(0), 3u);
+}
+
+TEST(MpbSlots, ReleaseValidatesTheLease) {
+  MpbSlotAllocator alloc(0, 50, 2);
+  const auto a = alloc.acquire();
+  ASSERT_TRUE(a.has_value());
+
+  MpbLease bogus = *a;
+  bogus.slot = 1;  // not in use
+  EXPECT_THROW(alloc.release(bogus), PreconditionError);
+  bogus.slot = 5;  // out of range
+  EXPECT_THROW(alloc.release(bogus), PreconditionError);
+
+  alloc.release(*a);
+  EXPECT_THROW(alloc.release(*a), PreconditionError) << "double release";
+
+  const auto b = alloc.acquire();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_THROW(alloc.release(*a), PreconditionError)
+      << "stale lease from a previous generation";
+  alloc.release(*b);
+}
+
+TEST(MpbSlots, PartitionMustFitTheMpb) {
+  EXPECT_THROW(MpbSlotAllocator(200, 100, 1), PreconditionError);
+  EXPECT_THROW(MpbSlotAllocator(0, 0, 1), PreconditionError);
+  EXPECT_THROW(MpbSlotAllocator(0, 100, 0), PreconditionError);
+  EXPECT_NO_THROW(MpbSlotAllocator(16, 120, 2));
 }
 
 }  // namespace
