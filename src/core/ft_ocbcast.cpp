@@ -262,15 +262,13 @@ sim::Task<bool> FtOcBcast::follower_chunk(
     // --- Detect: poll the source's staged line for this parity ----------
     Staged st;
     {
-      sim::Trigger& trig =
-          self.chip().mpb(source).line_trigger(staged_line(parity));
       rma::note_flag_wait(self, rma::MpbAddr{source, staged_line(parity)});
       int probes = 0;
       bool detected = false;
       while (!detected) {
-        const std::uint64_t epoch = trig.epoch();
+        std::uint64_t epoch = 0;
         CacheLine sl;
-        co_await self.mpb_read_line(source, staged_line(parity), sl);
+        co_await self.mpb_read_line(source, staged_line(parity), sl, &epoch);
         st = decode_staged(sl);
         if (st.valid && st.seq >= seq) {
           rma::note_flag_acquire(self, rma::MpbAddr{source, staged_line(parity)},
@@ -280,6 +278,10 @@ sim::Task<bool> FtOcBcast::follower_chunk(
         }
         self.set_wait_note("staged-wait", source,
                            static_cast<int>(staged_line(parity)));
+        // Trigger reference taken after the read (home-lane under PDES;
+        // see rma::wait_flag).
+        sim::Trigger& trig =
+            self.chip().mpb(source).line_trigger(staged_line(parity));
         const bool woken =
             co_await trig.wait_for(options_.watchdog.timeout, epoch);
         self.set_wait_note("running");

@@ -7,6 +7,7 @@
 #include "check/checker.h"
 #include "common/require.h"
 #include "common/rng.h"
+#include "harness/parallel.h"
 #include "noc/memctrl.h"
 #include "rma/rma.h"
 #include "sim/condition.h"
@@ -34,11 +35,24 @@ void fill_pattern(std::span<std::byte> region, std::uint64_t seed) {
   }
 }
 
+/// Applies the PDES thread-budget rules to a run spec (harness/parallel.h):
+/// an unset config picks up OCB_PDES_THREADS; inside a parallel_map worker
+/// even an explicit config drops to the serial loop (replication wins).
+/// Bit-identical results either way — only wall-clock changes.
+BcastRunSpec resolved_pdes(BcastRunSpec spec) {
+  if (in_parallel_map_worker()) {
+    spec.config.pdes_threads = 0;
+  } else if (spec.config.pdes_threads == 0) {
+    spec.config.pdes_threads = pdes_threads();
+  }
+  return spec;
+}
+
 }  // namespace
 
 BcastSession::BcastSession(const BcastRunSpec& spec)
-    : spec_(spec),
-      chip_(std::make_unique<scc::SccChip>(spec.config)),
+    : spec_(resolved_pdes(spec)),
+      chip_(std::make_unique<scc::SccChip>(spec_.config)),
       algo_(spec.algorithm_name.empty()
                 ? core::make_broadcast(*chip_, spec.algorithm)
                 : coll::make(spec.algorithm_name, *chip_, spec.params)) {
@@ -91,7 +105,12 @@ BcastRunResult BcastSession::run() {
     chip.spawn(c, [&, algo, total](scc::Core& me) -> sim::Task<void> {
       for (int it = 0; it < total; ++it) {
         co_await rendezvous.arrive();
-        start[static_cast<std::size_t>(it)] = me.now();
+        // Every party resumes at the same simulated instant, so one writer
+        // suffices — and under PDES the parties resume on different host
+        // threads, where concurrent same-value stores would still race.
+        if (me.id() == spec_.root) {
+          start[static_cast<std::size_t>(it)] = me.now();
+        }
         co_await algo->run(me, spec_.root, slot_offset(it), spec_.message_bytes);
         finish[static_cast<std::size_t>(it)][static_cast<std::size_t>(me.id())] =
             me.now();
@@ -113,6 +132,10 @@ BcastRunResult BcastSession::run() {
   out.max_queue_depth = run.max_queue_depth;
   out.frame_allocs = run.frame_allocs;
   out.frame_reuses = run.frame_reuses;
+  out.pdes_threads = run.pdes_threads;
+  out.pdes_windows = run.pdes_windows;
+  out.pdes_cross_events = run.pdes_cross_events;
+  out.pdes_lookahead_ns = run.pdes_lookahead_ns;
   for (int it = spec_.warmup; it < total; ++it) {
     const auto i = static_cast<std::size_t>(it);
     const sim::Time last = *std::max_element(finish[i].begin(), finish[i].end());

@@ -5,6 +5,34 @@
 
 namespace ocb::harness {
 
+namespace {
+thread_local bool t_in_parallel_worker = false;
+}  // namespace
+
+bool in_parallel_map_worker() { return t_in_parallel_worker; }
+
+detail::ParallelWorkerScope::ParallelWorkerScope()
+    : prev_(t_in_parallel_worker) {
+  t_in_parallel_worker = true;
+}
+
+detail::ParallelWorkerScope::~ParallelWorkerScope() {
+  t_in_parallel_worker = prev_;
+}
+
+unsigned pdes_threads() {
+  if (t_in_parallel_worker) return 0;  // replication-level parallelism wins
+  if (const char* env = std::getenv("OCB_PDES_THREADS")) {
+    try {
+      const long v = std::stol(env);
+      if (v >= 0) return static_cast<unsigned>(v);
+    } catch (...) {
+      // Malformed value: treat as unset.
+    }
+  }
+  return 0;
+}
+
 unsigned sweep_threads() {
   if (const char* env = std::getenv("OCB_SWEEP_THREADS")) {
     try {

@@ -13,6 +13,16 @@
 // std::thread::hardware_concurrency(). With one worker (or n <= 1 tasks)
 // parallel_map degenerates to a plain serial loop on the calling thread —
 // the reference behaviour the parallel path must reproduce.
+//
+// Thread-budget split vs. PDES (OCB_PDES_THREADS): the two knobs multiply,
+// so nesting them would oversubscribe the host. The rule is "replication
+// wins": chips built inside a parallel_map worker run with the serial
+// event loop (pdes_threads() returns 0 there, and BcastSession clamps even
+// explicit configs), while chips built outside — single measured runs, the
+// speed benches — get the PDES workers. Because PDES results are
+// bit-identical to serial, the clamp never changes a sweep's numbers.
+// When parallel_map itself degenerates to the serial loop (one worker or
+// n <= 1), no worker scope is entered and inner PDES stays available.
 #pragma once
 
 #include <algorithm>
@@ -28,6 +38,30 @@ namespace ocb::harness {
 /// Worker count for sweeps: OCB_SWEEP_THREADS if set (>= 1), else
 /// hardware_concurrency(), else 1.
 unsigned sweep_threads();
+
+/// Worker count for conservative-PDES chip runs: OCB_PDES_THREADS if set
+/// (>= 0), else 0 (= the serial reference loop). Returns 0 on a thread
+/// currently executing parallel_map tasks — the budget-split rule above.
+unsigned pdes_threads();
+
+/// True on a thread currently executing parallel_map tasks (including the
+/// calling thread while it participates in its own pool).
+bool in_parallel_map_worker();
+
+namespace detail {
+/// RAII worker-scope marker for parallel_map; restores the previous value
+/// so nested parallel_map calls unwind correctly.
+class ParallelWorkerScope {
+ public:
+  ParallelWorkerScope();
+  ~ParallelWorkerScope();
+  ParallelWorkerScope(const ParallelWorkerScope&) = delete;
+  ParallelWorkerScope& operator=(const ParallelWorkerScope&) = delete;
+
+ private:
+  bool prev_;
+};
+}  // namespace detail
 
 /// Runs fn(0..n-1) across `threads` workers (default sweep_threads());
 /// returns {fn(0), fn(1), ..., fn(n-1)} in index order. Tasks are claimed
@@ -55,6 +89,7 @@ auto parallel_map(std::size_t n, Fn&& fn, unsigned threads = 0)
   std::atomic<int> error_claim{0};
 
   auto worker = [&] {
+    const detail::ParallelWorkerScope scope;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n || failed.load(std::memory_order_relaxed)) return;

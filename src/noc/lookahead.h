@@ -1,0 +1,38 @@
+// Conservative-PDES lookahead derivation.
+//
+// The safety-window width for a parallel chip run is the minimum simulated
+// latency of any cross-partition edge. Partitions are contiguous tile
+// groups, so every cross-lane interaction is one of the SCC's remote
+// transactions, and each of those pays (a) a core-side entry overhead
+// before its packet departs and (b) at least one router traversal —
+// Geometry::routers_traversed() is >= 1 even for a tile talking to itself
+// (the packet still crosses its own router). Hence:
+//
+//   lookahead = min(entry overheads over all remote transaction kinds)
+//             + 1 * l_hop
+//
+// With the paper's Table 1 numbers that is o_ipi_send (80 ns) + l_hop
+// (5 ns) = 85 ns: an interrupt is the cheapest way one partition can touch
+// another. MPB reads/writes (o_mpb_core = 116 ns) and DDR accesses
+// (o_mem_core_* >= 198 ns) clear the bound with room to spare. The engine
+// asserts the contract at runtime: any cross-lane event scheduled inside
+// the current window aborts the run (see Engine::schedule_on_lane).
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.h"
+
+namespace ocb::noc {
+
+/// Width of a conservative safety window given the minimum core-side entry
+/// overhead of any cross-partition transaction and the per-router hop
+/// latency. `min_routers` is the smallest router count any packet can
+/// traverse (1 on the SCC mesh — see Geometry::routers_traversed).
+inline sim::Duration conservative_lookahead(sim::Duration min_entry_overhead,
+                                            sim::Duration l_hop,
+                                            int min_routers = 1) {
+  return min_entry_overhead + std::max(min_routers, 1) * l_hop;
+}
+
+}  // namespace ocb::noc

@@ -35,13 +35,12 @@ template <typename Pred>
 sim::Task<std::optional<FlagValue>> wait_flag_watchdog(scc::Core& self,
                                                        MpbAddr flag, Pred pred,
                                                        sim::Duration timeout) {
-  sim::Trigger& trigger = self.chip().mpb(flag.owner).line_trigger(flag.line);
   note_flag_wait(self, flag);
   const sim::Time deadline = self.now() + timeout;
   for (;;) {
-    const std::uint64_t epoch = trigger.epoch();
+    std::uint64_t epoch = 0;
     CacheLine cl;
-    co_await self.mpb_read_line(flag.owner, flag.line, cl);
+    co_await self.mpb_read_line(flag.owner, flag.line, cl, &epoch);
     const FlagValue v = decode_flag(cl);
     if (pred(v)) {
       note_flag_acquire(self, flag, v);
@@ -50,6 +49,9 @@ sim::Task<std::optional<FlagValue>> wait_flag_watchdog(scc::Core& self,
     const sim::Time now = self.now();
     if (now >= deadline) co_return std::nullopt;
     self.set_wait_note("flag-watchdog", flag.owner, static_cast<int>(flag.line));
+    // Trigger reference taken after the read (home-lane under PDES; see
+    // rma::wait_flag).
+    sim::Trigger& trigger = self.chip().mpb(flag.owner).line_trigger(flag.line);
     const bool woken = co_await trigger.wait_for(deadline - now, epoch);
     self.set_wait_note("running");
     if (woken) continue;

@@ -1,6 +1,9 @@
 #include "scc/chip.h"
 
+#include <algorithm>
+
 #include "common/require.h"
+#include "noc/lookahead.h"
 #include "scc/bulk.h"
 
 namespace ocb::scc {
@@ -76,11 +79,35 @@ std::string SccChip::describe_core(void* core) {
 void SccChip::spawn(CoreId id, std::function<sim::Task<void>(Core&)> program) {
   OCB_REQUIRE(static_cast<bool>(program), "empty core program");
   Core& c = core(id);
-  engine_.spawn(invoke_program(std::move(program), c), &SccChip::describe_core, &c);
+  engine_.spawn(invoke_program(std::move(program), c), &SccChip::describe_core,
+                &c, lane_of_core(id));
+}
+
+sim::Duration SccChip::pdes_lookahead() const {
+  const sim::Duration min_entry =
+      std::min({config_.o_mpb_core, config_.o_ipi_send, config_.o_mem_core_read,
+                config_.o_mem_core_write});
+  return noc::conservative_lookahead(min_entry, config_.l_hop);
+}
+
+bool SccChip::pdes_eligible(std::uint64_t max_events) const {
+  return config_.pdes_threads > 0 && config_.jitter == 0 && !observing() &&
+         !dynamic_spawning_ && max_events == UINT64_MAX &&
+         pdes_lookahead() > 0;
 }
 
 sim::RunResult SccChip::run(std::uint64_t max_events) {
-  return engine_.run(max_events);
+  if (!pdes_eligible(max_events)) return engine_.run(max_events);
+  pdes_active_ = true;
+  try {
+    sim::RunResult result =
+        engine_.run_pdes(config_.pdes_threads, pdes_lookahead());
+    pdes_active_ = false;
+    return result;
+  } catch (...) {
+    pdes_active_ = false;
+    throw;
+  }
 }
 
 void SccChip::add_observer(TransactionObserver* observer) {

@@ -58,8 +58,49 @@ class SccChip {
   /// safe).
   void spawn(CoreId id, std::function<sim::Task<void>(Core&)> program);
 
-  /// Runs the event loop to completion; see sim::Engine::run.
+  /// Runs the event loop to completion; see sim::Engine::run. When
+  /// config().pdes_threads > 0 and the run is eligible (see
+  /// pdes_eligible()), drains the chip with the conservative-PDES window
+  /// loop instead of the serial reference loop — bit-identical results at
+  /// any thread count.
   sim::RunResult run(std::uint64_t max_events = UINT64_MAX);
+
+  // --- conservative PDES (parallel chip runs) -----------------------------
+
+  /// Partition map: contiguous 3-tile groups (6 cores) per lane, 8 lanes.
+  /// Fixed regardless of worker count — the partition is part of the event
+  /// key space, not of the execution policy.
+  static unsigned lane_of_core(CoreId id) {
+    return static_cast<unsigned>(id) / (kNumCores / sim::Engine::kMaxLanes);
+  }
+  static unsigned lane_of_tile_index(int tile_index) {
+    return static_cast<unsigned>(tile_index) /
+           (kNumTiles / sim::Engine::kMaxLanes);
+  }
+  static unsigned lane_of_tile(noc::TileCoord tile) {
+    return lane_of_tile_index(noc::tile_index(tile));
+  }
+
+  /// True while a PDES run is draining the chip (any worker count,
+  /// including 1). Core transaction primitives branch on this to fuse
+  /// their cross-lane edges; rma keeps BulkOp coalescing off it.
+  bool pdes_active() const { return pdes_active_; }
+
+  /// Safety-window width for this chip's configuration: the cheapest
+  /// cross-partition edge (see noc/lookahead.h).
+  sim::Duration pdes_lookahead() const;
+
+  /// Whether a run with `max_events` could use the PDES loop. Serial
+  /// fallbacks (all deterministic, thread-count-independent): observers
+  /// installed (checked/traced/fault runs), nonzero jitter, a bounded
+  /// event budget, or a workload that spawns processes mid-run (the
+  /// broadcast service — see note_dynamic_spawning).
+  bool pdes_eligible(std::uint64_t max_events) const;
+
+  /// Marks the chip as hosting a workload that spawns processes while the
+  /// engine is running (svc::BroadcastService). Such workloads always use
+  /// the serial loop; the flag is sticky for the chip's lifetime.
+  void note_dynamic_spawning() { dynamic_spawning_ = true; }
 
   // --- instrumentation: the TransactionObserver chain ---------------------
 
@@ -105,8 +146,11 @@ class SccChip {
 
   /// True when multi-line RMA ops may take the coalesced fast path (see
   /// DESIGN.md "Fast-path transaction coalescing" for the bypass
-  /// conditions). Re-evaluated whenever the observer chain changes.
-  bool coalescing_active() const { return coalescing_active_; }
+  /// conditions). Re-evaluated whenever the observer chain changes; always
+  /// off during a PDES run (the closed-form path peeks at the global event
+  /// queue, and the event-parity chain reproduces *serial* seq allocation —
+  /// both are meaningless under lane-partitioned keys).
+  bool coalescing_active() const { return coalescing_active_ && !pdes_active_; }
 
   /// Per-core reusable fast-path state machine (a core has at most one
   /// RMA op in flight).
@@ -142,6 +186,8 @@ class SccChip {
   TraceSinkObserver trace_observer_;
   std::array<bool, kNumCores> crash_notified_{};
   bool coalescing_active_ = false;
+  bool pdes_active_ = false;
+  bool dynamic_spawning_ = false;
 };
 
 }  // namespace ocb::scc

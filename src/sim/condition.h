@@ -9,7 +9,9 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/engine.h"
@@ -120,10 +122,20 @@ class Trigger {
 /// Zero-cost join point for N processes, reusable across rounds.
 ///
 /// All arrivers suspend; when the N-th arrives, everyone resumes at the
-/// current simulated time. The experiment harness separates measurement
-/// iterations with this instead of a real flag barrier so that barrier
-/// traffic never pollutes the measured interval (the real RMA barrier lives
-/// in rma/barrier.h).
+/// latest arrival's simulated time. The experiment harness separates
+/// measurement iterations with this instead of a real flag barrier so that
+/// barrier traffic never pollutes the measured interval (the real RMA
+/// barrier lives in rma/barrier.h).
+///
+/// Under a PDES run the arrivals execute on different lanes, so the round
+/// is completed differently: each arrival records its own deterministic
+/// event key and arrival time under a mutex, and the completing arrival
+/// defers the wakes to the window boundary (Engine::schedule_at_boundary).
+/// The fire time (max over arrival times) and every wake's key depend only
+/// on the arrivals themselves — never on which worker observed the N-th
+/// one — so the round is bit-identical at any thread count. Identical to
+/// the serial semantics: in a serial run the N-th arrival is always the
+/// latest-timed one, and wakes resume in arrival order there too.
 class Rendezvous {
  public:
   Rendezvous(Engine& engine, std::size_t parties)
@@ -137,17 +149,7 @@ class Rendezvous {
     struct Awaiter {
       Rendezvous* r;
       bool await_ready() const noexcept { return false; }
-      bool await_suspend(std::coroutine_handle<> h) {
-        r->waiters_.push_back(h);
-        if (r->waiters_.size() == r->parties_) {
-          // Complete round: wake everyone (including this arriver).
-          std::vector<std::coroutine_handle<>> woken;
-          woken.swap(r->waiters_);
-          const Time t = r->engine_->now();
-          for (auto w : woken) r->engine_->schedule(t, w);
-        }
-        return true;
-      }
+      bool await_suspend(std::coroutine_handle<> h) { return r->suspend(h); }
       void await_resume() const noexcept {}
     };
     return Awaiter{this};
@@ -157,9 +159,19 @@ class Rendezvous {
   std::size_t waiting() const { return waiters_.size(); }
 
  private:
+  struct PdesArrival {
+    std::coroutine_handle<> h;
+    std::uint64_t key;
+    Time t;
+  };
+
+  bool suspend(std::coroutine_handle<> h);
+
   Engine* engine_;
   std::size_t parties_;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::mutex pdes_mu_;
+  std::vector<PdesArrival> pdes_waiters_;
 };
 
 }  // namespace ocb::sim
