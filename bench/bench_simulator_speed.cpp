@@ -10,10 +10,14 @@
 //                             workload, queue depth, allocator counters);
 //                             results/bench_simulator_speed.json is the
 //                             committed perf-trajectory file (see README)
-//   --perf_smoke=BASELINE     run the 1024-line workload and exit 1 if its
-//                             events/sec drops below 70% of the matching
-//                             entry in BASELINE (a --json_out file); this
-//                             is the `perf-smoke` CMake target
+//   --perf_smoke=BASELINE     re-run the gating workloads (plain, checked,
+//                             traced, service) and exit 1 if any drops
+//                             below 70% of the matching entry in BASELINE
+//                             (a --json_out file); this is the
+//                             `perf-smoke` CMake target. PDES rows gate
+//                             only when this host has at least as many
+//                             hardware threads as the row used — on
+//                             smaller hosts they downgrade to advisory.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -22,10 +26,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/fault_sweep.h"
 #include "harness/measurement.h"
+#include "scc/trace_json.h"
 #include "svc/service.h"
 
 namespace {
@@ -96,7 +102,23 @@ struct WorkloadRecord {
   std::uint64_t pdes_windows = 0;
   std::uint64_t pdes_cross_events = 0;
   sim::Duration pdes_lookahead_ns = 0;
+  /// Observer-batching statistics; non-zero only under OCB_SIM_STATS.
+  /// bulk_ops_observed / bulk_ops is the fast-path hit rate under an
+  /// observer chain; bulk_fallback_lines counts per-line replays.
+  std::uint64_t bulk_ops = 0;
+  std::uint64_t bulk_ops_observed = 0;
+  std::uint64_t bulk_quiescent_ops = 0;
+  std::uint64_t bulk_fallback_ops = 0;
+  std::uint64_t bulk_fallback_lines = 0;
 };
+
+void copy_bulk_stats(WorkloadRecord& w, const harness::BcastRunResult& r) {
+  w.bulk_ops = r.bulk_ops;
+  w.bulk_ops_observed = r.bulk_ops_observed;
+  w.bulk_quiescent_ops = r.bulk_quiescent_ops;
+  w.bulk_fallback_ops = r.bulk_fallback_ops;
+  w.bulk_fallback_lines = r.bulk_fallback_lines;
+}
 
 // Repeats a workload until it has either burned ~0.5 s or done `max_reps`
 // runs, and keeps the best events/sec: the committed baseline should be the
@@ -125,6 +147,11 @@ WorkloadRecord best_of(const std::string& name, int max_reps, Fn&& once) {
     w.pdes_windows = r.pdes_windows;
     w.pdes_cross_events = r.pdes_cross_events;
     w.pdes_lookahead_ns = r.pdes_lookahead_ns;
+    w.bulk_ops = r.bulk_ops;
+    w.bulk_ops_observed = r.bulk_ops_observed;
+    w.bulk_quiescent_ops = r.bulk_quiescent_ops;
+    w.bulk_fallback_ops = r.bulk_fallback_ops;
+    w.bulk_fallback_lines = r.bulk_fallback_lines;
   }
   return w;
 }
@@ -138,6 +165,7 @@ WorkloadRecord run_ocbcast_workload(std::size_t lines) {
     w.max_queue_depth = r.max_queue_depth;
     w.frame_allocs = r.frame_allocs;
     w.frame_reuses = r.frame_reuses;
+    copy_bulk_stats(w, r);
     return w;
   });
 }
@@ -168,8 +196,10 @@ WorkloadRecord run_ocbcast_pdes_workload(std::size_t lines, unsigned threads) {
 }
 
 // The same 1024-line broadcast with the ocb::check race checker installed:
-// the per-line observer path plus vector-clock bookkeeping, i.e. the cost
-// of running "checked". Compare against ocbcast_1024 to see the overhead.
+// vector-clock bookkeeping on every MPB access, i.e. the cost of running
+// "checked". The checker is bulk-capable (scc/observer.h), so coalesced
+// ops deliver one batched on_bulk instead of 2*lines per-line callbacks.
+// Compare against ocbcast_1024 to see the overhead.
 WorkloadRecord run_ocbcast_checked_workload() {
   return best_of("ocbcast_1024_checked", 10, [] {
     harness::BcastRunSpec spec = ocbcast_spec(1024);
@@ -180,6 +210,28 @@ WorkloadRecord run_ocbcast_checked_workload() {
     w.max_queue_depth = r.max_queue_depth;
     w.frame_allocs = r.frame_allocs;
     w.frame_reuses = r.frame_reuses;
+    copy_bulk_stats(w, r);
+    return w;
+  });
+}
+
+// The same broadcast with a JsonTraceCollector sink installed: every
+// transaction is recorded as a TraceEvent (the legacy per-line stream, so
+// the rendered bytes stay identical to a chain-off run; the span-style
+// bulk sink is a separate opt-in). The collector is cleared between
+// repetitions so memory stays bounded.
+WorkloadRecord run_ocbcast_traced_workload() {
+  return best_of("ocbcast_1024_traced", 10, [] {
+    harness::BcastSession session(ocbcast_spec(1024));
+    scc::JsonTraceCollector trace;
+    session.chip().set_trace_sink(trace.sink());
+    const harness::BcastRunResult r = session.run();
+    WorkloadRecord w;
+    w.events = r.events;
+    w.max_queue_depth = r.max_queue_depth;
+    w.frame_allocs = r.frame_allocs;
+    w.frame_reuses = r.frame_reuses;
+    copy_bulk_stats(w, r);
     return w;
   });
 }
@@ -202,6 +254,11 @@ WorkloadRecord run_service_workload() {
     WorkloadRecord w;
     w.events = m.engine_events;
     w.max_queue_depth = m.engine_max_queue_depth;
+    w.bulk_ops = m.bulk_ops;
+    w.bulk_ops_observed = m.bulk_ops_observed;
+    w.bulk_quiescent_ops = m.bulk_quiescent_ops;
+    w.bulk_fallback_ops = m.bulk_fallback_ops;
+    w.bulk_fallback_lines = m.bulk_fallback_lines;
     return w;
   });
 }
@@ -235,7 +292,12 @@ void append_record(std::ostringstream& out, const WorkloadRecord& w,
       << "      \"pdes_threads\": " << w.pdes_threads << ",\n"
       << "      \"pdes_windows\": " << w.pdes_windows << ",\n"
       << "      \"pdes_cross_events\": " << w.pdes_cross_events << ",\n"
-      << "      \"pdes_lookahead_ns\": " << w.pdes_lookahead_ns << "\n"
+      << "      \"pdes_lookahead_ns\": " << w.pdes_lookahead_ns << ",\n"
+      << "      \"bulk_ops\": " << w.bulk_ops << ",\n"
+      << "      \"bulk_ops_observed\": " << w.bulk_ops_observed << ",\n"
+      << "      \"bulk_quiescent_ops\": " << w.bulk_quiescent_ops << ",\n"
+      << "      \"bulk_fallback_ops\": " << w.bulk_fallback_ops << ",\n"
+      << "      \"bulk_fallback_lines\": " << w.bulk_fallback_lines << "\n"
       << "    }" << (last ? "\n" : ",\n");
 }
 
@@ -251,6 +313,8 @@ int json_out_mode(const std::string& path) {
   }
   std::fprintf(stderr, "running ocbcast_1024_checked...\n");
   records.push_back(run_ocbcast_checked_workload());
+  std::fprintf(stderr, "running ocbcast_1024_traced...\n");
+  records.push_back(run_ocbcast_traced_workload());
   std::fprintf(stderr, "running fig4_point_48cores...\n");
   records.push_back(run_fig4_workload());
   std::fprintf(stderr, "running service_mixed_load...\n");
@@ -259,7 +323,9 @@ int json_out_mode(const std::string& path) {
   records.push_back(run_fault_sweep_workload());
 
   std::ostringstream out;
-  out << "{\n  \"schema\": \"ocb-bench-simulator-speed-v2\",\n"
+  out << "{\n  \"schema\": \"ocb-bench-simulator-speed-v3\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
       << "  \"workloads\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     append_record(out, records[i], i + 1 == records.size());
@@ -288,6 +354,35 @@ double baseline_rate(const std::string& json, const std::string& workload) {
   return std::strtod(json.c_str() + k + key.size(), nullptr);
 }
 
+// One gating comparison: run `live`, compare against the baseline's row.
+// Returns false only on a gating failure; a missing baseline row (older
+// schema) skips with a note so new rows can be introduced without breaking
+// checkouts that still carry a pre-v3 baseline.
+bool smoke_gate(const std::string& json, const std::string& row,
+                const WorkloadRecord& live) {
+  const double committed = baseline_rate(json, row);
+  if (committed <= 0.0) {
+    std::printf("perf-smoke %s: no baseline row (pre-v3 file?), skipping\n",
+                row.c_str());
+    return true;
+  }
+  const double floor = 0.7 * committed;
+  std::printf(
+      "perf-smoke %s: live %.3gM events/s vs committed %.3gM (floor %.3gM)\n",
+      row.c_str(), live.events_per_sec / 1e6, committed / 1e6, floor / 1e6);
+  if (live.events_per_sec < floor) {
+    std::fprintf(stderr,
+                 "perf-smoke FAILED: %s events/sec dropped more than 30%% "
+                 "below the committed baseline. If the regression is "
+                 "intentional, regenerate the baseline with "
+                 "--json_out=results/bench_simulator_speed.json on an idle "
+                 "machine and commit it.\n",
+                 row.c_str());
+    return false;
+  }
+  return true;
+}
+
 int perf_smoke_mode(const std::string& baseline_path) {
   std::ifstream file(baseline_path);
   if (!file) {
@@ -297,48 +392,46 @@ int perf_smoke_mode(const std::string& baseline_path) {
   }
   std::ostringstream buf;
   buf << file.rdbuf();
-  const std::string workload = "ocbcast_1024";
-  const double committed = baseline_rate(buf.str(), workload);
-  if (committed <= 0.0) {
-    std::fprintf(stderr, "perf-smoke: no %s events_per_sec in %s\n",
-                 workload.c_str(), baseline_path.c_str());
-    return 1;
-  }
+  const std::string json = buf.str();
 
-  const WorkloadRecord live = run_ocbcast_workload(1024);
-  const double floor = 0.7 * committed;
-  std::printf("perf-smoke %s: live %.3gM events/s vs committed %.3gM (floor %.3gM)\n",
-              workload.c_str(), live.events_per_sec / 1e6, committed / 1e6,
-              floor / 1e6);
-  if (live.events_per_sec < floor) {
-    std::fprintf(stderr,
-                 "perf-smoke FAILED: events/sec dropped more than 30%% below "
-                 "the committed baseline (%s). If the regression is "
-                 "intentional, regenerate the baseline with "
-                 "--json_out=results/bench_simulator_speed.json on an idle "
-                 "machine and commit it.\n",
-                 baseline_path.c_str());
-    return 1;
-  }
+  bool ok = true;
+  // The gating set: the plain event loop plus the three observer-chain
+  // workloads the capability model is meant to keep fast (schema v3).
+  ok &= smoke_gate(json, "ocbcast_1024", run_ocbcast_workload(1024));
+  ok &= smoke_gate(json, "ocbcast_1024_checked", run_ocbcast_checked_workload());
+  ok &= smoke_gate(json, "ocbcast_1024_traced", run_ocbcast_traced_workload());
+  ok &= smoke_gate(json, "service_mixed_load", run_service_workload());
 
-  // The PDES rows are advisory, never gating: parallel speedup depends on
-  // the host's core count (a 1-core CI container legitimately runs them
-  // slower than serial), so a drop here is a WARNING, not a failure.
+  // PDES rows gate only where the comparison is meaningful: a host with
+  // fewer hardware threads than the row's worker count legitimately runs
+  // it slower than the committed (bigger-machine) baseline, so there the
+  // row downgrades to an advisory WARNING.
+  const unsigned hw = std::thread::hardware_concurrency();
   for (const unsigned threads : {2u, 4u, 8u}) {
     const std::string row = "ocbcast_8192_pdes" + std::to_string(threads);
-    const double base = baseline_rate(buf.str(), row);
+    const double base = baseline_rate(json, row);
     if (base <= 0.0) continue;  // pre-v2 baseline without PDES rows
     const WorkloadRecord pdes = run_ocbcast_pdes_workload(8192, threads);
-    std::printf("perf-smoke %s: live %.3gM events/s vs committed %.3gM "
-                "(advisory)\n",
-                row.c_str(), pdes.events_per_sec / 1e6, base / 1e6);
+    const bool gating = hw >= threads;
+    std::printf("perf-smoke %s: live %.3gM events/s vs committed %.3gM (%s)\n",
+                row.c_str(), pdes.events_per_sec / 1e6, base / 1e6,
+                gating ? "gating" : "advisory");
     if (pdes.events_per_sec < 0.7 * base) {
-      std::fprintf(stderr,
-                   "perf-smoke WARNING: %s below the committed baseline; not "
-                   "gating (PDES throughput is host-core-count dependent)\n",
-                   row.c_str());
+      if (gating) {
+        std::fprintf(stderr,
+                     "perf-smoke FAILED: %s below the committed baseline on a "
+                     "host with %u >= %u hardware threads\n",
+                     row.c_str(), hw, threads);
+        ok = false;
+      } else {
+        std::fprintf(stderr,
+                     "perf-smoke WARNING: %s below the committed baseline; not "
+                     "gating (host has %u < %u hardware threads)\n",
+                     row.c_str(), hw, threads);
+      }
     }
   }
+  if (!ok) return 1;
   std::printf("perf-smoke PASSED\n");
   return 0;
 }

@@ -25,6 +25,7 @@ RaceChecker::RaceChecker(scc::SccChip& chip, CheckOptions options)
   // acquired from it (whose view of that component is still 0). All-zero
   // clocks would make every first access spuriously "ordered" (0 <= 0).
   for (std::size_t c = 0; c < kNumCores; ++c) clocks_[c][c] = 1;
+  lines_.resize(static_cast<std::size_t>(kNumCores) * kMpbCacheLines);
 }
 
 void RaceChecker::join(VectorClock& into, const VectorClock& from) {
@@ -36,12 +37,6 @@ void RaceChecker::join(VectorClock& into, const VectorClock& from) {
 bool RaceChecker::ordered_before(const Access& access, CoreId core) const {
   return access.epoch <=
          clocks_[static_cast<std::size_t>(core)][static_cast<std::size_t>(access.core)];
-}
-
-RaceChecker::LineState& RaceChecker::line_state(CoreId owner, std::size_t line) {
-  const std::uint64_t key =
-      static_cast<std::uint64_t>(owner) * kMpbCacheLines + line;
-  return lines_[key];
 }
 
 void RaceChecker::mark_sync(LineState& ls) {
@@ -87,6 +82,43 @@ void RaceChecker::record(Violation::Kind kind, CoreId owner, std::size_t line,
   violations_.push_back(v);
 }
 
+void RaceChecker::check_read(LineState& ls, CoreId owner, std::size_t line,
+                             const Access& a) {
+  if (ls.has_write && ls.last_write.core != a.core &&
+      !crashed_[static_cast<std::size_t>(ls.last_write.core)] &&
+      !ordered_before(ls.last_write, a.core)) {
+    record(Violation::Kind::kPutGet, owner, line, ls.last_write, a);
+  }
+  // Keep only reads this one does not dominate: a read ordered before `a`
+  // is covered by `a` for every future conflict (happens-before is
+  // transitive), and same-core reads are covered by program order. The
+  // prune is eager because it is semantics-bearing — the surviving set is
+  // exactly what a later write reports against — but with the inline
+  // ReadSet the scan is allocation-free and usually 0-2 entries.
+  ls.reads.erase_if([&](const Access& r) {
+    return r.core == a.core || ordered_before(r, a.core);
+  });
+  ls.reads.push_back(a);
+}
+
+void RaceChecker::check_write(LineState& ls, CoreId owner, std::size_t line,
+                              const Access& a) {
+  if (ls.has_write && ls.last_write.core != a.core &&
+      !crashed_[static_cast<std::size_t>(ls.last_write.core)] &&
+      !ordered_before(ls.last_write, a.core)) {
+    record(Violation::Kind::kPutPut, owner, line, ls.last_write, a);
+  }
+  for (const Access& r : ls.reads) {
+    if (r.core == a.core) continue;
+    if (crashed_[static_cast<std::size_t>(r.core)]) continue;
+    if (ordered_before(r, a.core)) continue;
+    record(Violation::Kind::kGetPut, owner, line, r, a);
+  }
+  ls.last_write = a;
+  ls.has_write = true;
+  ls.reads.clear();
+}
+
 void RaceChecker::on_read(const scc::LineTxn& txn, CacheLine& /*value*/) {
   if (txn.op != scc::TraceOp::kMpbRead) return;
   // Validated-read sections: the read may race by design (the protocol
@@ -95,41 +127,62 @@ void RaceChecker::on_read(const scc::LineTxn& txn, CacheLine& /*value*/) {
   if (optimistic_[static_cast<std::size_t>(txn.core)]) return;
   LineState& ls = line_state(txn.target, txn.index);
   if (ls.sync) return;
-  const Access a = make_access(txn);
-  if (ls.has_write && ls.last_write.core != a.core &&
-      !crashed_[static_cast<std::size_t>(ls.last_write.core)] &&
-      !ordered_before(ls.last_write, a.core)) {
-    record(Violation::Kind::kPutGet, txn.target, txn.index, ls.last_write, a);
-  }
-  // Keep only reads this one does not dominate: a read ordered before `a`
-  // is covered by `a` for every future conflict (happens-before is
-  // transitive), and same-core reads are covered by program order.
-  std::erase_if(ls.reads, [&](const Access& r) {
-    return r.core == a.core || ordered_before(r, a.core);
-  });
-  ls.reads.push_back(a);
+  check_read(ls, txn.target, txn.index, make_access(txn));
 }
 
 bool RaceChecker::on_write(const scc::LineTxn& txn, CacheLine& /*value*/) {
   if (txn.op != scc::TraceOp::kMpbWrite) return true;
   LineState& ls = line_state(txn.target, txn.index);
   if (ls.sync) return true;
-  const Access a = make_access(txn);
-  if (ls.has_write && ls.last_write.core != a.core &&
-      !crashed_[static_cast<std::size_t>(ls.last_write.core)] &&
-      !ordered_before(ls.last_write, a.core)) {
-    record(Violation::Kind::kPutPut, txn.target, txn.index, ls.last_write, a);
-  }
-  for (const Access& r : ls.reads) {
-    if (r.core == a.core) continue;
-    if (crashed_[static_cast<std::size_t>(r.core)]) continue;
-    if (ordered_before(r, a.core)) continue;
-    record(Violation::Kind::kGetPut, txn.target, txn.index, r, a);
-  }
-  ls.last_write = a;
-  ls.has_write = true;
-  ls.reads.clear();
+  check_write(ls, txn.target, txn.index, make_access(txn));
   return true;
+}
+
+// Batched delivery for one quiescent coalesced op. Processes the op's MPB
+// accesses in the exact per-line order (line-major, source half before
+// destination half) so seq allocation — and therefore every verdict and
+// its provenance — matches the reference stream bit for bit. The early
+// outs replicate the per-line filters: mem halves never reach the checker
+// (single-core address space), optimistic reads and sync lines are
+// skipped BEFORE a seq is allocated, exactly as on_read/on_write do. The
+// issuing core's epoch, stage, and optimistic flag are hoisted: nothing
+// mid-op can change them (only the core's own sync operations do, and the
+// quiescent regime means nothing else is runnable).
+void RaceChecker::on_bulk(const scc::BulkTxn& txn) {
+  const auto core = static_cast<std::size_t>(txn.core);
+  const std::uint64_t epoch = clocks_[core][core];
+  const char* stage = chip_->core(txn.core).stage();
+  const bool optimistic = optimistic_[core];
+  // Per-half skip decisions, hoisted out of the line loop.
+  bool checked[2];
+  bool is_write[2];
+  for (int hi = 0; hi < 2; ++hi) {
+    const scc::BulkHalfDesc& h = txn.half[hi];
+    is_write[hi] = h.op == scc::TraceOp::kMpbWrite;
+    checked[hi] = !h.mem && (is_write[hi] || !optimistic);
+  }
+  if (!checked[0] && !checked[1]) return;
+  for (std::size_t l = 0; l < txn.lines; ++l) {
+    for (int hi = 0; hi < 2; ++hi) {
+      if (!checked[hi]) continue;
+      const scc::BulkHalfDesc& h = txn.half[hi];
+      const std::size_t index = h.base + l * h.stride;
+      LineState& ls = line_state(h.target, index);
+      if (ls.sync) continue;
+      Access a;
+      a.core = txn.core;
+      a.epoch = epoch;
+      a.seq = next_seq_++;
+      a.time = txn.schedule[l * 2 + static_cast<std::size_t>(hi)].access;
+      a.op = h.op;
+      a.stage = stage;
+      if (is_write[hi]) {
+        check_write(ls, h.target, index, a);
+      } else {
+        check_read(ls, h.target, index, a);
+      }
+    }
+  }
 }
 
 void RaceChecker::on_sync(const scc::SyncEvent& event) {
@@ -190,14 +243,21 @@ void RaceChecker::on_crash(CoreId core, sim::Time /*now*/) {
   // are entitled to recycle whatever it was touching. Its releases stay —
   // edges it published before dying were really delivered.
   crashed_[static_cast<std::size_t>(core)] = true;
-  for (auto& [key, ls] : lines_) {
+  for (LineState& ls : lines_) {
     if (ls.has_write && ls.last_write.core == core) ls.has_write = false;
-    std::erase_if(ls.reads, [&](const Access& r) { return r.core == core; });
+    ls.reads.erase_if([&](const Access& r) { return r.core == core; });
   }
 }
 
 void RaceChecker::reset_accesses() {
-  lines_.clear();
+  // Field-wise reset keeps each line's allocations (read-set spill
+  // capacity, release buckets) warm for the next phase.
+  for (LineState& ls : lines_) {
+    ls.sync = false;
+    ls.has_write = false;
+    ls.reads.clear();
+    ls.releases.clear();
+  }
   violations_.clear();
   total_detected_ = 0;
 }

@@ -33,6 +33,7 @@
 //   if (!checker.violations().empty()) std::cerr << checker.report();
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -102,6 +103,22 @@ class RaceChecker final : public scc::TransactionObserver {
   void on_sync(const scc::SyncEvent& event) override;
   void on_crash(CoreId core, sim::Time now) override;
 
+  // Capability model (scc/observer.h): the checker is passive — it never
+  // mutates a value, vetoes a commit, or gates a core — and it opts out of
+  // all per-line delivery on the quiescent fast path: one batched on_bulk
+  // per coalesced op processes the op's MPB accesses with the issuing
+  // core's epoch, stage, and optimistic flag hoisted out of the line loop
+  // (they cannot change mid-op: only the core's own sync operations touch
+  // them, and the op is the only thing running). Seqs are allocated in the
+  // exact per-line access order, so verdicts and provenance are
+  // bit-identical to the reference stream. On a busy chip the parity chain
+  // dispatches the live per-line callbacks as before.
+  bool is_passive() const override { return true; }
+  bool needs_per_line_reads() const override { return false; }
+  bool needs_per_line_writes() const override { return false; }
+  bool needs_per_line_completes() const override { return false; }
+  void on_bulk(const scc::BulkTxn& txn) override;
+
  private:
   using VectorClock = std::array<std::uint64_t, kNumCores>;
 
@@ -114,11 +131,64 @@ class RaceChecker final : public scc::TransactionObserver {
     const char* stage = "";
   };
 
+  /// Read sets are almost always tiny — pruning keeps only concurrent
+  /// unordered readers — so they live inline until they outgrow kInline,
+  /// then spill to the heap (and shrink back when pruned). Preserves
+  /// insertion order exactly like the std::vector it replaces.
+  class ReadSet {
+   public:
+    const Access* begin() const {
+      return spilled_ ? spill_.data() : inline_.data();
+    }
+    const Access* end() const { return begin() + size_; }
+    bool empty() const { return size_ == 0; }
+    void push_back(const Access& a) {
+      if (!spilled_) {
+        if (size_ < kInline) {
+          inline_[size_++] = a;
+          return;
+        }
+        spill_.assign(inline_.begin(), inline_.end());
+        spilled_ = true;
+      }
+      spill_.push_back(a);
+      ++size_;
+    }
+    void clear() {
+      size_ = 0;
+      if (spilled_) {
+        spill_.clear();
+        spilled_ = false;
+      }
+    }
+    template <class Pred>
+    void erase_if(Pred pred) {
+      Access* first = spilled_ ? spill_.data() : inline_.data();
+      Access* kept = std::remove_if(first, first + size_, pred);
+      size_ = static_cast<std::size_t>(kept - first);
+      if (spilled_) {
+        spill_.resize(size_);
+        if (size_ <= kInline) {
+          std::copy(spill_.begin(), spill_.end(), inline_.begin());
+          spill_.clear();
+          spilled_ = false;
+        }
+      }
+    }
+
+   private:
+    static constexpr std::size_t kInline = 4;
+    std::array<Access, kInline> inline_{};
+    std::vector<Access> spill_;
+    std::size_t size_ = 0;
+    bool spilled_ = false;
+  };
+
   struct LineState {
     bool sync = false;        ///< claimed as a flag line; data checks off
     bool has_write = false;
     Access last_write;
-    std::vector<Access> reads;
+    ReadSet reads;
     /// Per published value: join of the clocks of every release of it.
     std::unordered_map<std::uint64_t, VectorClock> releases;
   };
@@ -127,18 +197,29 @@ class RaceChecker final : public scc::TransactionObserver {
   /// True when `access` happens-before the current instant on `core`.
   bool ordered_before(const Access& access, CoreId core) const;
 
-  LineState& line_state(CoreId owner, std::size_t line);
+  LineState& line_state(CoreId owner, std::size_t line) {
+    return lines_[static_cast<std::size_t>(owner) * kMpbCacheLines + line];
+  }
   void mark_sync(LineState& ls);
   void record(Violation::Kind kind, CoreId owner, std::size_t line,
               const Access& first, const Access& second);
   Access make_access(const scc::LineTxn& txn);
+  /// The shared DJIT+ hot path, identical for per-line and batched
+  /// delivery: conflict checks against the line's last write / read set,
+  /// then the (semantics-bearing) eager read-set prune or write update.
+  void check_read(LineState& ls, CoreId owner, std::size_t line,
+                  const Access& a);
+  void check_write(LineState& ls, CoreId owner, std::size_t line,
+                   const Access& a);
 
   scc::SccChip* chip_;
   CheckOptions options_;
   std::array<VectorClock, kNumCores> clocks_{};
   /// FIFO of sender clocks per interrupt target (sends precede consumes).
   std::array<std::vector<VectorClock>, kNumCores> ipi_queues_;
-  std::unordered_map<std::uint64_t, LineState> lines_;
+  /// Direct-indexed [owner * kMpbCacheLines + line]: the per-access hash
+  /// lookup was the hottest single cost in checked runs.
+  std::vector<LineState> lines_;
   std::array<bool, kNumCores> crashed_{};
   /// Inside a kOptimisticBegin/End section: the core's reads are
   /// protocol-validated (seqlock-style) and exempt from data checks.

@@ -6,7 +6,19 @@ FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)),
       rng_(SplitMix64(plan_.seed ^ 0xFA17B0A7ULL).next()),
       stall_applied_(plan_.stalls.size(), false),
-      crash_reported_(plan_.crashes.size(), false) {}
+      crash_reported_(plan_.crashes.size(), false) {
+  // Pre-sample the plan's per-line needs and per-core gate effects once
+  // (the plan is immutable for the injector's lifetime; see injector.h).
+  for (const StallInterval& s : plan_.stalls) {
+    timing_faults_[static_cast<std::size_t>(s.core)] = true;
+  }
+  for (const FailStop& f : plan_.crashes) {
+    timing_faults_[static_cast<std::size_t>(f.core)] = true;
+  }
+  perline_reads_ = plan_.rates.mpb_read > 0.0 || plan_.rates.mem_read > 0.0;
+  perline_writes_ = plan_.rates.mpb_write > 0.0 ||
+                    plan_.rates.mem_write > 0.0 || !plan_.stuck_lines.empty();
+}
 
 bool FaultInjector::crashed(CoreId core, sim::Time now) {
   for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {

@@ -136,6 +136,11 @@ BcastRunResult BcastSession::run() {
   out.pdes_windows = run.pdes_windows;
   out.pdes_cross_events = run.pdes_cross_events;
   out.pdes_lookahead_ns = run.pdes_lookahead_ns;
+  out.bulk_ops = run.bulk_ops;
+  out.bulk_ops_observed = run.bulk_ops_observed;
+  out.bulk_quiescent_ops = run.bulk_quiescent_ops;
+  out.bulk_fallback_ops = run.bulk_fallback_ops;
+  out.bulk_fallback_lines = run.bulk_fallback_lines;
   for (int it = spec_.warmup; it < total; ++it) {
     const auto i = static_cast<std::size_t>(it);
     const sim::Time last = *std::max_element(finish[i].begin(), finish[i].end());

@@ -75,6 +75,18 @@ struct BcastRunResult {
   std::uint64_t pdes_windows = 0;
   std::uint64_t pdes_cross_events = 0;
   sim::Duration pdes_lookahead_ns = 0;
+  /// Observer-batching statistics for this run() call (nonzero only in
+  /// OCB_SIM_STATS builds): coalesced ops launched, ops launched while an
+  /// observer chain was installed (the fast path the capability model
+  /// keeps open), ops that booked closed-form in the quiescent regime,
+  /// and ops (with their line count) that fell back to the per-line path
+  /// because an observer's bulk window was closed or the BulkOp pool was
+  /// exhausted.
+  std::uint64_t bulk_ops = 0;
+  std::uint64_t bulk_ops_observed = 0;
+  std::uint64_t bulk_quiescent_ops = 0;
+  std::uint64_t bulk_fallback_ops = 0;
+  std::uint64_t bulk_fallback_lines = 0;
 };
 
 /// Reusable measurement session: one chip and one algorithm instance

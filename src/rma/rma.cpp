@@ -19,24 +19,27 @@ void require_mem_offset(std::size_t offset) {
 
 }  // namespace
 
-// Each op takes the coalesced fast path (scc/bulk.h) when the chip allows
-// it — timing-identical by construction, asserted by
-// tests/coalescing_equivalence_test.cpp — and otherwise the per-line loop,
-// which is the reference semantics (and the only path that fault hooks,
-// trace sinks, and jitter ever see). The in_flight() check covers cores
-// multiplexing several collectives (svc/): the per-core BulkOp serves one
-// op at a time, so an op that finds it busy runs the per-line path, which
-// interleaves with the in-flight chain exactly like two reference ops.
+// Each op takes the coalesced fast path (scc/bulk.h) when the chip grants
+// it one (SccChip::try_acquire_bulk) — timing-identical by construction,
+// asserted by tests/coalescing_equivalence_test.cpp and
+// tests/observer_fastpath_test.cpp — and otherwise the per-line loop,
+// which is the reference semantics (and the only path non-bulk-capable
+// observers and jitter ever see). Acquisition can fail for cores
+// multiplexing several collectives (svc/): each core keeps a small pool
+// of BulkOps, and an op that finds every slot busy runs the per-line
+// path, which interleaves with the in-flight chains exactly like
+// concurrent reference ops. It also fails per-op when an observer's bulk
+// window is not clear (a fault plan with a pending stall/crash for this
+// core), which routes exactly the perturbed cores through the gates.
 
 sim::Task<void> put_mpb_to_mpb(scc::Core& self, MpbAddr dst, std::size_t src_line,
                                std::size_t lines) {
   require_mpb_range(src_line, lines);
   require_mpb_range(dst.line, lines);
   scc::SccChip& chip = self.chip();
-  if (chip.coalescing_active() && !chip.bulk_op(self.id()).in_flight()) {
-    co_await chip.bulk_op(self.id()).run(scc::BulkKind::kPutMpbToMpb,
-                                         chip.config().o_put_mpb, dst.owner,
-                                         dst.line, src_line, lines);
+  if (scc::BulkOp* bulk = chip.try_acquire_bulk(self.id(), lines)) {
+    co_await bulk->run(scc::BulkKind::kPutMpbToMpb, chip.config().o_put_mpb, dst.owner,
+                       dst.line, src_line, lines);
     co_return;
   }
   co_await self.busy(chip.config().o_put_mpb);
@@ -52,10 +55,9 @@ sim::Task<void> put_mem_to_mpb(scc::Core& self, MpbAddr dst, std::size_t src_off
   require_mem_offset(src_offset);
   require_mpb_range(dst.line, lines);
   scc::SccChip& chip = self.chip();
-  if (chip.coalescing_active() && !chip.bulk_op(self.id()).in_flight()) {
-    co_await chip.bulk_op(self.id()).run(scc::BulkKind::kPutMemToMpb,
-                                         chip.config().o_put_mem, dst.owner,
-                                         dst.line, src_offset, lines);
+  if (scc::BulkOp* bulk = chip.try_acquire_bulk(self.id(), lines)) {
+    co_await bulk->run(scc::BulkKind::kPutMemToMpb, chip.config().o_put_mem, dst.owner,
+                       dst.line, src_offset, lines);
     co_return;
   }
   co_await self.busy(chip.config().o_put_mem);
@@ -71,10 +73,9 @@ sim::Task<void> get_mpb_to_mpb(scc::Core& self, std::size_t dst_line, MpbAddr sr
   require_mpb_range(src.line, lines);
   require_mpb_range(dst_line, lines);
   scc::SccChip& chip = self.chip();
-  if (chip.coalescing_active() && !chip.bulk_op(self.id()).in_flight()) {
-    co_await chip.bulk_op(self.id()).run(scc::BulkKind::kGetMpbToMpb,
-                                         chip.config().o_get_mpb, src.owner,
-                                         src.line, dst_line, lines);
+  if (scc::BulkOp* bulk = chip.try_acquire_bulk(self.id(), lines)) {
+    co_await bulk->run(scc::BulkKind::kGetMpbToMpb, chip.config().o_get_mpb, src.owner,
+                       src.line, dst_line, lines);
     co_return;
   }
   co_await self.busy(chip.config().o_get_mpb);
@@ -90,10 +91,9 @@ sim::Task<void> get_mpb_to_mem(scc::Core& self, std::size_t dst_offset, MpbAddr 
   require_mem_offset(dst_offset);
   require_mpb_range(src.line, lines);
   scc::SccChip& chip = self.chip();
-  if (chip.coalescing_active() && !chip.bulk_op(self.id()).in_flight()) {
-    co_await chip.bulk_op(self.id()).run(scc::BulkKind::kGetMpbToMem,
-                                         chip.config().o_get_mem, src.owner,
-                                         src.line, dst_offset, lines);
+  if (scc::BulkOp* bulk = chip.try_acquire_bulk(self.id(), lines)) {
+    co_await bulk->run(scc::BulkKind::kGetMpbToMem, chip.config().o_get_mem, src.owner,
+                       src.line, dst_offset, lines);
     co_return;
   }
   co_await self.busy(chip.config().o_get_mem);

@@ -47,6 +47,8 @@ BulkOp::Half BulkOp::mpb_half(CoreId owner, std::size_t first_line,
       h.ported ? &chip_->mpb_port(noc::tile_index_of_core(owner)) : nullptr;
   h.overhead = o_mpb_core_;
   h.service = t_mpb_port_;
+  h.target = owner;
+  h.op = write ? TraceOp::kMpbWrite : TraceOp::kMpbRead;
   return h;
 }
 
@@ -62,6 +64,8 @@ BulkOp::Half BulkOp::mem_half(std::size_t offset, bool write) const {
   h.server = mc_server_;
   h.overhead = write ? o_mem_core_write_ : o_mem_core_read_;
   h.service = t_mc_port_;
+  h.target = id_;
+  h.op = write ? TraceOp::kMemWrite : TraceOp::kMemRead;
   return h;
 }
 
@@ -96,10 +100,16 @@ void BulkOp::launch() {
   in_flight_ = true;
   line_ = 0;
   half_idx_ = 0;
+  observing_ = chip_->observing();
+  issue_ = chip_->engine().now();
   // The per-line path pays the op's software overhead via busy(); with zero
   // jitter that delay is exact arithmetic either way.
-  const sim::Time start = chip_->engine().now() + op_overhead_;
-  if (try_quiescent(start)) return;
+  const sim::Time start = issue_ + op_overhead_;
+  if (try_quiescent(start)) {
+    chip_->note_bulk_op(observing_, /*quiescent=*/true);
+    return;
+  }
+  chip_->note_bulk_op(observing_, /*quiescent=*/false);
   // Busy chip: run the event-parity chain. The kickoff event stands in for
   // the busy() sleep and, like it, is scheduled from the caller's event.
   chip_->engine().schedule_fn(start, &start_tramp, this);
@@ -121,15 +131,36 @@ bool BulkOp::try_quiescent(sim::Time start) {
       if (h.mpb->line_has_waiters(h.base + i)) return false;
     }
   }
+  // Observation: per-line callbacks go inline at the computed reference
+  // instants to the observers that asked for them; the rest get one
+  // on_bulk at the end, for which the reference schedule is recorded.
+  const bool record = observing_ && chip_->bulk_summary_pending();
+  if (record) schedule_.resize(lines_ * 2);
+  if (observing_) {
+    // The per-line path's busy(op_overhead) kickoff completion.
+    chip_->observe_complete_quiescent(
+        {TraceOp::kBusy, id_, id_, 0, issue_, start});
+  }
   noc::Mesh& mesh = chip_->mesh();
   sim::Time t = start;
   for (line_ = 0; line_ < lines_; ++line_) {
     for (half_idx_ = 0; half_idx_ < 2; ++half_idx_) {
       const Half& h = half_[half_idx_];
-      if (h.mem && !h.write && cache_enabled_ &&
-          self_->cache().lookup(h.base + line_ * h.stride)) {
-        value_ = memory_->load(h.base + line_ * h.stride);
+      const sim::Time begin = t;
+      const std::size_t index = h.base + line_ * h.stride;
+      if (h.mem && !h.write && cache_enabled_ && self_->cache().lookup(index)) {
+        value_ = memory_->load(index);
         t += o_cache_hit_;
+        if (observing_) {
+          chip_->observe_read_quiescent(
+              {TraceOp::kCacheHit, id_, id_, index, t}, value_);
+          chip_->observe_complete_quiescent(
+              {TraceOp::kCacheHit, id_, id_, index, begin, t});
+        }
+        if (record) {
+          schedule_[line_ * 2 + static_cast<std::size_t>(half_idx_)] = {
+              begin, t, t, /*cache_hit=*/true};
+        }
         continue;
       }
       const sim::Time dep = t + h.overhead;
@@ -137,9 +168,31 @@ bool BulkOp::try_quiescent(sim::Time start) {
           h.cross ? mesh.reserve_path(dep, tile_, h.dst_tile) : dep + l_hop_;
       const sim::Time done = arrival + h.service;  // idle server: no queueing
       if (h.ported) h.server->book_uncontended(h.service);
-      do_access();
+      do_access(done, /*quiescent=*/true);
       t = h.cross ? mesh.reserve_path(done, h.dst_tile, tile_) : done + l_hop_;
+      if (observing_) {
+        chip_->observe_complete_quiescent({h.op, id_, h.target, index, begin, t});
+      }
+      if (record) {
+        schedule_[line_ * 2 + static_cast<std::size_t>(half_idx_)] = {
+            begin, done, t, /*cache_hit=*/false};
+      }
     }
+  }
+  if (record) {
+    BulkTxn txn;
+    txn.core = id_;
+    txn.lines = lines_;
+    txn.issue = issue_;
+    txn.kickoff = start;
+    txn.end = t;
+    for (int hi = 0; hi < 2; ++hi) {
+      txn.half[hi] = {half_[hi].op, half_[hi].target, half_[hi].mem,
+                      half_[hi].base, half_[hi].stride};
+    }
+    txn.schedule = schedule_.data();
+    txn.chip = chip_;
+    chip_->observe_bulk(txn);
   }
   // The op's effects are fully booked; only the caller's resume remains.
   in_flight_ = false;
@@ -157,9 +210,15 @@ bool BulkOp::try_quiescent(sim::Time start) {
 
 // Segment kickoff, called inside an event at the segment's start instant
 // (the reference calls cache lookup / core_overhead at this instant).
+// Under observation the chain dispatches the reference's per-line
+// callbacks live to the full chain at the same instants, in the same
+// intra-event order; the gates the reference would consult between them
+// are guaranteed identity by the acquisition-time bulk_window_clear check
+// and cost zero engine events either way, so parity is unaffected.
 void BulkOp::start_segment() {
   const Half& h = half_[half_idx_];
   const sim::Time now = chip_->engine().now();
+  seg_start_ = now;
   if (h.mem && !h.write && cache_enabled_ &&
       self_->cache().lookup(h.base + line_ * h.stride)) {
     // Cache hit: single event, like the reference's o_cache_hit sleep.
@@ -189,12 +248,36 @@ void BulkOp::advance() {
   cont_.resume();
 }
 
-void BulkOp::on_start() { start_segment(); }
+void BulkOp::on_start() {
+  if (observing_) {
+    // The reference's busy(op_overhead) completes at this instant, inside
+    // this resumption event, before the first line sub-op begins.
+    chip_->observe_complete(
+        {TraceOp::kBusy, id_, id_, 0, issue_, chip_->engine().now()});
+  }
+  start_segment();
+}
 
-void BulkOp::on_seg() { advance(); }
+void BulkOp::on_seg() {
+  if (observing_) {
+    const Half& h = half_[half_idx_];
+    chip_->observe_complete({h.op, id_, h.target,
+                             h.base + line_ * h.stride, seg_start_,
+                             chip_->engine().now()});
+  }
+  advance();
+}
 
 void BulkOp::on_hit() {
-  value_ = memory_->load(half_[half_idx_].base + line_ * half_[half_idx_].stride);
+  const Half& h = half_[half_idx_];
+  const std::size_t index = h.base + line_ * h.stride;
+  value_ = memory_->load(index);
+  if (observing_) {
+    const sim::Time now = chip_->engine().now();
+    chip_->observe_read({TraceOp::kCacheHit, id_, id_, index, now}, value_);
+    chip_->observe_complete(
+        {TraceOp::kCacheHit, id_, id_, index, seg_start_, now});
+  }
   advance();
 }
 
@@ -221,29 +304,61 @@ void BulkOp::on_arrival() {
 }
 
 void BulkOp::on_complete() {
-  do_access();
-  const Half& h = half_[half_idx_];
   sim::Engine& engine = chip_->engine();
+  do_access(engine.now(), /*quiescent=*/false);
+  const Half& h = half_[half_idx_];
   const sim::Time seg_end =
       h.cross ? chip_->mesh().reserve_path(engine.now(), h.dst_tile, tile_)
               : engine.now() + l_hop_;
   engine.schedule_fn(seg_end, &seg_tramp, this);
 }
 
-void BulkOp::do_access() {
+// Loads/stores and their read/write observations, in the reference's
+// order: MPB read = load, observe; MPB/mem write = observe, store iff the
+// chain commits (mem writes still insert into the cache model either
+// way); mem read = load, observe, insert.
+void BulkOp::do_access(sim::Time now, bool quiescent) {
   const Half& h = half_[half_idx_];
   const std::size_t index = h.base + line_ * h.stride;
   if (!h.mem) {
     if (h.write) {
-      h.mpb->store(index, value_);
+      bool commit = true;
+      if (observing_) {
+        const LineTxn txn{TraceOp::kMpbWrite, id_, h.target, index, now};
+        commit = quiescent ? chip_->observe_write_quiescent(txn, value_)
+                           : chip_->observe_write(txn, value_);
+      }
+      if (commit) h.mpb->store(index, value_);
     } else {
       value_ = h.mpb->load(index);
+      if (observing_) {
+        const LineTxn txn{TraceOp::kMpbRead, id_, h.target, index, now};
+        if (quiescent) {
+          chip_->observe_read_quiescent(txn, value_);
+        } else {
+          chip_->observe_read(txn, value_);
+        }
+      }
     }
   } else if (h.write) {
-    memory_->store(index, value_);
+    bool commit = true;
+    if (observing_) {
+      const LineTxn txn{TraceOp::kMemWrite, id_, id_, index, now};
+      commit = quiescent ? chip_->observe_write_quiescent(txn, value_)
+                         : chip_->observe_write(txn, value_);
+    }
+    if (commit) memory_->store(index, value_);
     if (cache_enabled_) self_->cache().insert(index);
   } else {
     value_ = memory_->load(index);
+    if (observing_) {
+      const LineTxn txn{TraceOp::kMemRead, id_, id_, index, now};
+      if (quiescent) {
+        chip_->observe_read_quiescent(txn, value_);
+      } else {
+        chip_->observe_read(txn, value_);
+      }
+    }
     if (cache_enabled_) self_->cache().insert(index);
   }
 }

@@ -37,18 +37,36 @@
 //    is constant-factor only: no coroutine frames, no awaiter chains, no
 //    nested Task resume cascades — just trampolines on a reusable object.
 //
-// BulkOp is only used when SccChip::coalescing_active() — no fault hook, no
-// trace sink, zero jitter, config.coalescing on — because those features
-// observe (or perturb) individual line transactions. The equivalence is
-// asserted by tests/coalescing_equivalence_test.cpp and discussed in
-// DESIGN.md ("Fast-path transaction coalescing").
+// BulkOp is only used when SccChip::coalescing_active() — zero jitter,
+// config.coalescing on, and every installed observer bulk-capable (see
+// scc/observer.h). Observation preserves both regimes' exactness:
+//
+//   * On the parity chain, the per-line observer callbacks are dispatched
+//     live to the full chain at the exact reference instants (the kickoff
+//     event delivers the kBusy completion, the access happens inside the
+//     port-completion event, the segment-end event delivers the line's
+//     completion) — and because a clear bulk window guarantees the gates
+//     are identity (no crash, zero stall) and gates cost zero engine
+//     events either way (symmetric transfer), the chain stays
+//     event-for-event and seq-for-seq identical to the observed
+//     reference path.
+//   * On the closed-form path, per-line callbacks go inline during
+//     booking with the computed reference timestamps to the observers
+//     that need them, and observers that opted out of per-line delivery
+//     get one on_bulk(BulkTxn) carrying the full schedule.
+//
+// The equivalence is asserted by tests/coalescing_equivalence_test.cpp and
+// tests/observer_fastpath_test.cpp, and discussed in DESIGN.md ("Fast-path
+// transaction coalescing", "Observer capability model").
 #pragma once
 
 #include <coroutine>
 #include <cstddef>
+#include <vector>
 
 #include "common/types.h"
 #include "noc/geometry.h"
+#include "scc/observer.h"
 #include "sim/time.h"
 
 namespace ocb::sim {
@@ -129,6 +147,8 @@ class BulkOp {
     noc::TileCoord dst_tile{};
     sim::Duration overhead = 0;  ///< core-side cost before the packet departs
     sim::Duration service = 0;   ///< port/bank hold (or unported access time)
+    CoreId target = 0;  ///< MPB owner / self for mem halves (observation)
+    TraceOp op = TraceOp::kBusy;  ///< the half's per-line transaction kind
   };
 
   Half mpb_half(CoreId owner, std::size_t first_line, bool write) const;
@@ -144,7 +164,10 @@ class BulkOp {
   void on_departure();
   void on_arrival();
   void on_complete();
-  void do_access();
+  /// Performs the current line-half's load/store at instant `now`,
+  /// dispatching on_read/on_write in the reference order. `quiescent`
+  /// selects the closed-form dispatch lists over the full chain.
+  void do_access(sim::Time now, bool quiescent);
 
   static void start_tramp(void* op) { static_cast<BulkOp*>(op)->on_start(); }
   static void seg_tramp(void* op) { static_cast<BulkOp*>(op)->on_seg(); }
@@ -186,8 +209,14 @@ class BulkOp {
   std::size_t line_ = 0;
   int half_idx_ = 0;
   bool in_flight_ = false;
+  bool observing_ = false;   ///< chain non-empty at launch
+  sim::Time issue_ = 0;      ///< op issue instant (before op_overhead_)
+  sim::Time seg_start_ = 0;  ///< parity chain: current segment's start
   std::coroutine_handle<> cont_{};
   CacheLine value_{};
+  /// Reference-path timestamps recorded by the closed-form path when an
+  /// on_bulk recipient is installed (lines*2 entries, reused across ops).
+  std::vector<BulkHalfTimes> schedule_;
 };
 
 }  // namespace ocb::scc

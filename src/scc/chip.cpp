@@ -35,11 +35,76 @@ Core& SccChip::core(CoreId id) {
   return *cores_[static_cast<std::size_t>(id)];
 }
 
-BulkOp& SccChip::bulk_op(CoreId id) {
+BulkOp* SccChip::try_acquire_bulk(CoreId id, std::size_t lines) {
+  if (!coalescing_active()) return nullptr;
   noc::require_core(id);
-  auto& slot = bulk_ops_[static_cast<std::size_t>(id)];
-  if (!slot) slot = std::make_unique<BulkOp>(core(id));
-  return *slot;
+  if (!observers_.empty() && !bulk_window_clear(id)) {
+    note_bulk_fallback(lines);
+    return nullptr;
+  }
+  auto& pool = bulk_pools_[static_cast<std::size_t>(id)];
+  for (const auto& op : pool) {
+    if (!op->in_flight()) return op.get();
+  }
+  if (pool.size() < kBulkPoolSize) {
+    pool.push_back(std::make_unique<BulkOp>(core(id)));
+    return pool.back().get();
+  }
+  note_bulk_fallback(lines);
+  return nullptr;
+}
+
+bool SccChip::bulk_window_clear(CoreId core) {
+  const sim::Time now = engine_.now();
+  for (TransactionObserver* o : observers_) {
+    if (!o->bulk_window_clear(core, now)) return false;
+  }
+  return true;
+}
+
+void SccChip::refresh_coalescing() {
+  bool active = config_.coalescing && config_.jitter == 0;
+  perline_read_.clear();
+  perline_write_.clear();
+  perline_complete_.clear();
+  bulk_summary_.clear();
+  for (TransactionObserver* o : observers_) {
+    active = active && o->supports_bulk();
+    bool per_line = false;
+    if (o->needs_per_line_reads()) {
+      perline_read_.push_back(o);
+      per_line = true;
+    }
+    if (o->needs_per_line_writes()) {
+      perline_write_.push_back(o);
+      per_line = true;
+    }
+    if (o->needs_per_line_completes()) {
+      perline_complete_.push_back(o);
+      per_line = true;
+    }
+    if (!per_line) bulk_summary_.push_back(o);
+  }
+  coalescing_active_ = active;
+}
+
+void SccChip::TraceSinkObserver::on_bulk(const BulkTxn& txn) {
+  if (bulk) {
+    bulk(txn);
+    return;
+  }
+  // Legacy sinks get the synthesized per-line stream. Reads/writes are
+  // no-ops for a sink, so skip the default synthesis' value recovery.
+  sink({TraceOp::kBusy, txn.core, txn.core, 0, txn.issue, txn.kickoff});
+  for (std::size_t line = 0; line < txn.lines; ++line) {
+    for (int hi = 0; hi < 2; ++hi) {
+      const BulkHalfDesc& h = txn.half[hi];
+      const BulkHalfTimes& ts = txn.schedule[line * 2 + hi];
+      const TraceOp op = ts.cache_hit ? TraceOp::kCacheHit : h.op;
+      sink({op, txn.core, h.target, h.base + line * h.stride, ts.begin,
+            ts.end});
+    }
+  }
 }
 
 mem::MpbStorage& SccChip::mpb(CoreId id) {
@@ -97,17 +162,27 @@ bool SccChip::pdes_eligible(std::uint64_t max_events) const {
 }
 
 sim::RunResult SccChip::run(std::uint64_t max_events) {
-  if (!pdes_eligible(max_events)) return engine_.run(max_events);
-  pdes_active_ = true;
-  try {
-    sim::RunResult result =
-        engine_.run_pdes(config_.pdes_threads, pdes_lookahead());
-    pdes_active_ = false;
-    return result;
-  } catch (...) {
-    pdes_active_ = false;
-    throw;
+  const BulkObserverStats before = bulk_stats_;
+  sim::RunResult result;
+  if (!pdes_eligible(max_events)) {
+    result = engine_.run(max_events);
+  } else {
+    pdes_active_ = true;
+    try {
+      result = engine_.run_pdes(config_.pdes_threads, pdes_lookahead());
+      pdes_active_ = false;
+    } catch (...) {
+      pdes_active_ = false;
+      throw;
+    }
   }
+  result.bulk_ops = bulk_stats_.ops - before.ops;
+  result.bulk_ops_observed = bulk_stats_.ops_observed - before.ops_observed;
+  result.bulk_quiescent_ops = bulk_stats_.quiescent_ops - before.quiescent_ops;
+  result.bulk_fallback_ops = bulk_stats_.fallback_ops - before.fallback_ops;
+  result.bulk_fallback_lines =
+      bulk_stats_.fallback_lines - before.fallback_lines;
+  return result;
 }
 
 void SccChip::add_observer(TransactionObserver* observer) {
@@ -124,9 +199,10 @@ void SccChip::remove_observer(TransactionObserver* observer) {
   refresh_coalescing();
 }
 
-void SccChip::set_trace_sink(TraceSink sink) {
+void SccChip::set_trace_sink(TraceSink sink, BulkTraceSink bulk) {
   const bool was_installed = static_cast<bool>(trace_observer_.sink);
   trace_observer_.sink = std::move(sink);
+  trace_observer_.bulk = std::move(bulk);
   const bool want_installed = static_cast<bool>(trace_observer_.sink);
   if (want_installed && !was_installed) add_observer(&trace_observer_);
   if (!want_installed && was_installed) remove_observer(&trace_observer_);

@@ -90,11 +90,13 @@ struct SccConfig {
   /// Master switch for the coalesced RMA fast path (scc/bulk.h): multi-line
   /// put/get computed closed-form from the Fig. 2 cost model instead of one
   /// coroutine round trip per line. Timing-neutral by construction — the
-  /// per-line path is used automatically whenever a fault hook, trace sink,
-  /// or jitter is active (see DESIGN.md "Fast-path transaction
-  /// coalescing"); turning this off forces the per-line path everywhere,
-  /// which must produce identical timestamps (tests/coalescing_equivalence
-  /// asserts it).
+  /// per-line path is used automatically whenever jitter or an observer
+  /// that is not bulk-capable is active (see scc/observer.h and DESIGN.md
+  /// "Fast-path transaction coalescing"; the built-in checker, trace sink,
+  /// and fault injector are bulk-capable and keep the fast path on);
+  /// turning this off forces the per-line path everywhere, which must
+  /// produce identical results (tests/coalescing_equivalence and
+  /// tests/observer_fastpath assert it).
   bool coalescing = true;
   /// Max uniform jitter added to each core-side overhead (0 = none).
   sim::Duration jitter = 0;

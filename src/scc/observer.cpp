@@ -1,0 +1,36 @@
+#include "scc/observer.h"
+
+#include "scc/chip.h"
+
+namespace ocb::scc {
+
+// Synthesizes the per-line callback stream the reference path would have
+// delivered for this op: the kBusy kickoff completion, then per line the
+// source half's read and the destination half's write with their
+// completion intervals. Values are recovered from post-op storage — the
+// source still holds what the read observed, the destination holds what
+// the write stored, and a needs-free observer promised it mutated
+// neither — so the synthesis is exact for every observer this hook can
+// legally reach.
+void TransactionObserver::on_bulk(const BulkTxn& txn) {
+  on_complete({TraceOp::kBusy, txn.core, txn.core, 0, txn.issue, txn.kickoff});
+  for (std::size_t line = 0; line < txn.lines; ++line) {
+    for (int hi = 0; hi < 2; ++hi) {
+      const BulkHalfDesc& h = txn.half[hi];
+      const BulkHalfTimes& ts = txn.schedule[line * 2 + hi];
+      const std::size_t index = h.base + line * h.stride;
+      const TraceOp op = ts.cache_hit ? TraceOp::kCacheHit : h.op;
+      CacheLine value = h.mem ? txn.chip->memory(txn.core).load(index)
+                              : txn.chip->mpb(h.target).load(index);
+      const LineTxn access{op, txn.core, h.target, index, ts.access};
+      if (h.op == TraceOp::kMpbWrite || h.op == TraceOp::kMemWrite) {
+        on_write(access, value);
+      } else {
+        on_read(access, value);
+      }
+      on_complete({op, txn.core, h.target, index, ts.begin, ts.end});
+    }
+  }
+}
+
+}  // namespace ocb::scc

@@ -125,6 +125,17 @@ struct RunResult {
   std::uint64_t pdes_windows = 0;
   std::uint64_t pdes_cross_events = 0;
   Duration pdes_lookahead_ns = 0;
+  /// Coalesced-RMA observer-batch counters for this run (deltas; filled by
+  /// SccChip::run, zero for plain Engine runs and non-OCB_SIM_STATS
+  /// builds): ops that took the fast path (and how many of those ran with
+  /// observers installed / closed-form), plus ops denied the fast path at
+  /// acquisition (gate window not clear, per-core pool exhausted) and the
+  /// lines those ops replayed through the per-line reference path.
+  std::uint64_t bulk_ops = 0;
+  std::uint64_t bulk_ops_observed = 0;
+  std::uint64_t bulk_quiescent_ops = 0;
+  std::uint64_t bulk_fallback_ops = 0;
+  std::uint64_t bulk_fallback_lines = 0;
   /// One entry per stalled process: its spawn label plus the wait reason it
   /// last reported (see Engine::spawn), e.g. "core 12: flag-wait mpb[7]:3".
   /// Makes fault-induced hangs diagnosable without a debugger.

@@ -76,11 +76,13 @@ TEST(ObserverChain, AddRemoveTogglesCoalescingAndObserving) {
   EXPECT_FALSE(chip.observing());
   EXPECT_TRUE(chip.coalescing_active());
 
-  // The set_trace_sink sugar is itself a chain member.
+  // The set_trace_sink sugar is itself a chain member — and a bulk-capable
+  // one, so unlike the default-capability counters above it keeps the
+  // coalesced fast path on (scc/observer.h capability model).
   scc::JsonTraceCollector trace;
   chip.set_trace_sink(trace.sink());
   EXPECT_TRUE(chip.observing());
-  EXPECT_FALSE(chip.coalescing_active());
+  EXPECT_TRUE(chip.coalescing_active());
   chip.set_trace_sink({});
   EXPECT_FALSE(chip.observing());
   EXPECT_TRUE(chip.coalescing_active());

@@ -1,0 +1,221 @@
+// The byte-identity gate for the observer-compatible fast path
+// (scc/observer.h capability model).
+//
+// PR 6 lets the coalesced BulkOp path stay on while the built-in
+// observers — check::RaceChecker, the JSON trace sink, and
+// fault::FaultInjector — are installed, dispatching batched or
+// reference-instant per-line observation instead of forcing the per-line
+// slow path. The contract is that NOTHING observable may change: checker
+// verdicts and their full provenance (seqs, times, stages), rendered
+// trace JSON bytes, fault outcomes and injection counts, and service SLO
+// metrics must be bit-identical with the fast path forced on vs off.
+// These tests run every registry algorithm both ways and compare.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "coll/registry.h"
+#include "harness/fault_sweep.h"
+#include "harness/measurement.h"
+#include "rma/rma.h"
+#include "scc/chip.h"
+#include "scc/trace_json.h"
+#include "svc/service.h"
+
+namespace ocb {
+namespace {
+
+const std::vector<std::string>& algorithms() {
+  static const std::vector<std::string> names = coll::names();
+  return names;
+}
+
+harness::BcastRunSpec spec_for(const std::string& name, bool coalescing) {
+  harness::BcastRunSpec spec;
+  spec.algorithm_name = name;
+  spec.message_bytes = 96 * kCacheLineBytes;
+  spec.iterations = 2;
+  spec.warmup = 1;
+  spec.config.coalescing = coalescing;
+  return spec;
+}
+
+void expect_same_timeline(const harness::BcastRunResult& on,
+                          const harness::BcastRunResult& off) {
+  EXPECT_EQ(on.end_time, off.end_time);
+  ASSERT_EQ(on.latency_us.count(), off.latency_us.count());
+  for (std::size_t i = 0; i < on.latency_us.count(); ++i) {
+    EXPECT_DOUBLE_EQ(on.latency_us.samples()[i], off.latency_us.samples()[i])
+        << "iteration " << i;
+  }
+  EXPECT_TRUE(on.content_ok);
+  EXPECT_TRUE(off.content_ok);
+}
+
+// --- checked runs -----------------------------------------------------------
+
+TEST(ObserverFastpath, CheckedRunsAreBitIdentical) {
+  for (const std::string& name : algorithms()) {
+    harness::BcastRunSpec on_spec = spec_for(name, true);
+    on_spec.check = true;
+    harness::BcastRunSpec off_spec = spec_for(name, false);
+    off_spec.check = true;
+
+    harness::BcastSession on_session(on_spec);
+    // The capability model's whole point: a passive, bulk-capable checker
+    // keeps the coalesced fast path ON.
+    EXPECT_TRUE(on_session.chip().coalescing_active()) << name;
+    const harness::BcastRunResult on = on_session.run();
+    const harness::BcastRunResult off = harness::run_broadcast(off_spec);
+
+    expect_same_timeline(on, off);
+    // Verdicts: the shipped collectives are race-free, both ways.
+    EXPECT_EQ(on.race_violations, 0u) << name;
+    EXPECT_EQ(off.race_violations, 0u) << name;
+  }
+}
+
+// A deliberately racing workload, so the identity check covers verdicts
+// WITH provenance (cores, ops, seqs, times, stages), not just zero counts.
+// Two cores put to the same remote MPB lines with no ordering edge; a
+// third gets them. Coalesced on both arms, the checker must reconstruct
+// the identical violation list — report() renders every recorded field,
+// so string equality is full-provenance equality.
+std::string racy_report(bool coalescing) {
+  scc::SccConfig cfg;
+  cfg.coalescing = coalescing;
+  scc::SccChip chip(cfg);
+  check::RaceChecker checker(chip);
+  chip.add_observer(&checker);
+  EXPECT_EQ(chip.coalescing_active(), coalescing);
+
+  for (CoreId writer : {1, 2}) {
+    chip.spawn(writer, [](scc::Core& me) -> sim::Task<void> {
+      me.set_stage("racy-put");
+      co_await rma::put_mpb_to_mpb(me, {0, 16}, 0, 8);
+    });
+  }
+  chip.spawn(3, [](scc::Core& me) -> sim::Task<void> {
+    me.set_stage("racy-get");
+    co_await rma::get_mpb_to_mpb(me, 0, {0, 16}, 8);
+  });
+  EXPECT_TRUE(chip.run().completed());
+  EXPECT_GT(checker.total_detected(), 0u);
+  return checker.report();
+}
+
+TEST(ObserverFastpath, RaceProvenanceIsBitIdentical) {
+  EXPECT_EQ(racy_report(true), racy_report(false));
+}
+
+// --- traced runs ------------------------------------------------------------
+
+TEST(ObserverFastpath, TraceJsonBytesAreBitIdentical) {
+  for (const std::string& name : algorithms()) {
+    std::string json[2];
+    for (int arm = 0; arm < 2; ++arm) {
+      harness::BcastSession session(spec_for(name, arm == 0));
+      scc::JsonTraceCollector trace;
+      // The legacy per-line sink (no bulk companion): coalesced ops must
+      // synthesize the exact per-line event stream.
+      session.chip().set_trace_sink(trace.sink());
+      EXPECT_EQ(session.chip().coalescing_active(), arm == 0) << name;
+      const harness::BcastRunResult r = session.run();
+      EXPECT_TRUE(r.content_ok);
+      json[arm] = trace.to_json();
+    }
+    EXPECT_EQ(json[0], json[1]) << name;
+  }
+}
+
+// --- fault-injected runs ----------------------------------------------------
+
+harness::FaultRunSpec fault_spec(bool coalescing) {
+  harness::FaultRunSpec spec;
+  spec.message_bytes = 16 * 1024;
+  spec.ft.parties = kNumCores;
+  spec.plan.seed = 7;
+  spec.plan.rates.mpb_read = 2e-4;
+  spec.plan.rates.mpb_write = 1e-4;
+  spec.plan.stalls.push_back({9, 40 * sim::kMicrosecond, 60 * sim::kMicrosecond});
+  spec.plan.crashes.push_back({17, 30 * sim::kMicrosecond});
+  spec.config.coalescing = coalescing;
+  spec.check_races = true;
+  return spec;
+}
+
+TEST(ObserverFastpath, FaultOutcomesAreBitIdentical) {
+  const harness::FaultRunOutcome on = run_fault_once(fault_spec(true));
+  const harness::FaultRunOutcome off = run_fault_once(fault_spec(false));
+
+  EXPECT_EQ(on.drained, off.drained);
+  EXPECT_EQ(on.parties, off.parties);
+  EXPECT_EQ(on.crashed, off.crashed);
+  EXPECT_EQ(on.survivors, off.survivors);
+  EXPECT_EQ(on.correct, off.correct);
+  EXPECT_EQ(on.gave_up, off.gave_up);
+  EXPECT_EQ(on.delivered, off.delivered);
+  EXPECT_EQ(on.stalled_processes, off.stalled_processes);
+  EXPECT_EQ(on.stalled_details, off.stalled_details);
+  EXPECT_DOUBLE_EQ(on.latency_us, off.latency_us);
+  EXPECT_EQ(on.injections.reads_corrupted, off.injections.reads_corrupted);
+  EXPECT_EQ(on.injections.writes_corrupted, off.injections.writes_corrupted);
+  EXPECT_EQ(on.injections.writes_suppressed, off.injections.writes_suppressed);
+  EXPECT_EQ(on.injections.stalls_applied, off.injections.stalls_applied);
+  EXPECT_EQ(on.injections.crashes_applied, off.injections.crashes_applied);
+  EXPECT_EQ(on.race_violations, off.race_violations);
+  EXPECT_EQ(on.race_report, off.race_report);
+}
+
+// A zero-rate injector (the common "FT run, no faults today" shape) is
+// pre-sampled as needing no per-line callbacks at all, so it must keep
+// quiescent coalescing fully enabled — and still match the off arm.
+TEST(ObserverFastpath, ZeroRateInjectorKeepsFastPath) {
+  harness::FaultRunSpec on_spec;
+  on_spec.message_bytes = 16 * 1024;
+  on_spec.ft.parties = kNumCores;
+  harness::FaultRunSpec off_spec = on_spec;
+  off_spec.config.coalescing = false;
+
+  const harness::FaultRunOutcome on = run_fault_once(on_spec);
+  const harness::FaultRunOutcome off = run_fault_once(off_spec);
+  EXPECT_TRUE(on.all_survivors_correct());
+  EXPECT_TRUE(off.all_survivors_correct());
+  EXPECT_DOUBLE_EQ(on.latency_us, off.latency_us);
+  EXPECT_EQ(on.injections.total(), 0u);
+  // Fewer events on the fast arm: quiescent ops really collapsed.
+  EXPECT_LE(on.events, off.events);
+}
+
+// --- service runs -----------------------------------------------------------
+
+TEST(ObserverFastpath, ServiceMetricsAreBitIdentical) {
+  svc::TrafficSpec traffic;
+  traffic.requests = 12;
+  traffic.mean_gap_ns = 30'000;
+  traffic.sizes = {{kCacheLineBytes, 2}, {4096, 2}, {16384, 1}};
+  traffic.seed = 99;
+
+  for (const std::string& algorithm : {std::string("ocbcast"),
+                                       std::string("ft-ocbcast")}) {
+    std::string json[2];
+    for (int arm = 0; arm < 2; ++arm) {
+      svc::ServiceConfig config;
+      config.algorithm = algorithm;
+      config.check = true;  // checker rides along, fast path stays on
+      config.chip.coalescing = arm == 0;
+      const svc::ServiceMetrics m = svc::run_service(config, traffic);
+      EXPECT_TRUE(m.content_ok) << algorithm;
+      EXPECT_EQ(m.race_violations, 0u) << algorithm;
+      json[arm] = m.to_json();
+    }
+    // to_json renders counts, makespan, throughput, and all three
+    // latency histograms — bit-identity covers the whole SLO surface.
+    EXPECT_EQ(json[0], json[1]) << algorithm;
+  }
+}
+
+}  // namespace
+}  // namespace ocb
