@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <vector>
 #include <sstream>
 
 #include "harness/paper_data.h"
@@ -28,11 +29,11 @@ struct SeriesSpec {
 };
 
 const SeriesSpec& spec_for(int series) {
-  static const SeriesSpec specs[] = {
+  static const std::vector<SeriesSpec> specs = {
       {"ocbcast", {.k = 2}, "oc-bcast k=2"},
       {"ocbcast", {.k = 7}, "oc-bcast k=7"},
       {"ocbcast", {.k = 47}, "oc-bcast k=47"},
-      {"binomial", {}, "binomial"},
+      {"binomial", {.parties = kNumCores}, "binomial"},
   };
   return specs[series];
 }

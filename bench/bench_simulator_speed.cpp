@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "coll/adaptive.h"
 #include "harness/fault_sweep.h"
 #include "harness/measurement.h"
 #include "scc/trace_json.h"
@@ -236,6 +237,27 @@ WorkloadRecord run_ocbcast_traced_workload() {
   });
 }
 
+// The 1024-line broadcast through coll::AdaptiveBcast: the baked decision
+// table resolves to the same OC-Bcast shape as ocbcast_1024, so the delta
+// against that row is the online dispatch overhead (table lookup + quiesce
+// bookkeeping; the adaptive wrapper also pins the serial loop). Advisory
+// in perf-smoke — it informs, never gates.
+WorkloadRecord run_adaptive_workload() {
+  coll::register_adaptive();
+  return best_of("adaptive_1024", 10, [] {
+    harness::BcastRunSpec spec = ocbcast_spec(1024);
+    spec.algorithm_name = "adaptive";
+    const harness::BcastRunResult r = run_broadcast(spec);
+    WorkloadRecord w;
+    w.events = r.events;
+    w.max_queue_depth = r.max_queue_depth;
+    w.frame_allocs = r.frame_allocs;
+    w.frame_reuses = r.frame_reuses;
+    copy_bulk_stats(w, r);
+    return w;
+  });
+}
+
 WorkloadRecord run_fig4_workload() {
   return best_of("fig4_point_48cores", 3, [] {
     const harness::ContentionResult r =
@@ -311,6 +333,8 @@ int json_out_mode(const std::string& path) {
     std::fprintf(stderr, "running ocbcast_8192_pdes%u...\n", threads);
     records.push_back(run_ocbcast_pdes_workload(8192, threads));
   }
+  std::fprintf(stderr, "running adaptive_1024...\n");
+  records.push_back(run_adaptive_workload());
   std::fprintf(stderr, "running ocbcast_1024_checked...\n");
   records.push_back(run_ocbcast_checked_workload());
   std::fprintf(stderr, "running ocbcast_1024_traced...\n");
@@ -401,6 +425,25 @@ int perf_smoke_mode(const std::string& baseline_path) {
   ok &= smoke_gate(json, "ocbcast_1024_checked", run_ocbcast_checked_workload());
   ok &= smoke_gate(json, "ocbcast_1024_traced", run_ocbcast_traced_workload());
   ok &= smoke_gate(json, "service_mixed_load", run_service_workload());
+
+  // The adaptive row is advisory: it tracks the dispatch overhead of
+  // coll::AdaptiveBcast over the plain ocbcast_1024 row, but machine-level
+  // scheduling noise on the wrapper path should not fail CI.
+  {
+    const double base = baseline_rate(json, "adaptive_1024");
+    if (base > 0.0) {
+      const WorkloadRecord live = run_adaptive_workload();
+      std::printf(
+          "perf-smoke adaptive_1024: live %.3gM events/s vs committed %.3gM "
+          "(advisory)\n",
+          live.events_per_sec / 1e6, base / 1e6);
+      if (live.events_per_sec < 0.7 * base) {
+        std::fprintf(stderr,
+                     "perf-smoke WARNING: adaptive_1024 below the committed "
+                     "baseline; not gating (advisory row)\n");
+      }
+    }
+  }
 
   // PDES rows gate only where the comparison is meaningful: a host with
   // fewer hardware threads than the row's worker count legitimately runs

@@ -1,0 +1,74 @@
+// coll::AdaptiveBcast — the online half of the design-space autotuner.
+//
+// A Collective that owns no broadcast protocol of its own: each run() call
+// looks up (message size, parties, observed fault rate) in a DecisionTable
+// and delegates to the best registered algorithm for that band, with the
+// tuning knobs (k, chunk_lines, double_buffering) the offline explorer
+// found best there. Switching delegates is quiesced: OC-Bcast-family flags
+// are absolute monotone sequence numbers, so a new instance must never see
+// a predecessor's MPB state — the switch waits until no call is in flight,
+// then scrubs every core's MPB before instantiating the replacement.
+//
+// Not a builtin: call register_adaptive() to install it as "adaptive"
+// (keeps the registry's all-algorithms test grids — PDES parity, race
+// checks — over protocols only).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/decision.h"
+#include "coll/registry.h"
+#include "sim/condition.h"
+
+namespace ocb::scc {
+class SccChip;
+}  // namespace ocb::scc
+
+namespace ocb::coll {
+
+class AdaptiveBcast final : public Collective {
+ public:
+  /// One per-round record of what the table picked (pushed by the root's
+  /// run() call) — lets tests and benches audit the selection stream.
+  struct Selection {
+    std::size_t lines = 0;
+    Choice choice;
+  };
+
+  /// The chip is pinned to the deterministic serial loop for its lifetime
+  /// (note_dynamic_spawning): delegate switching mutates shared state
+  /// (in-flight counter, delegate pointer) from every core's coroutine,
+  /// which is only safe single-threaded. Requires params.mpb_base_line == 0
+  /// — the adaptive layer re-derives chunk shapes per band and therefore
+  /// owns the whole MPB; it cannot live inside a service slot lease.
+  AdaptiveBcast(scc::SccChip& chip, const Params& params,
+                DecisionTable table = DecisionTable::baked_in());
+
+  std::string name() const override { return "adaptive"; }
+  int parties() const override { return params_.parties; }
+
+  sim::Task<void> run(scc::Core& self, CoreId root, std::size_t offset,
+                      std::size_t bytes) override;
+
+  const DecisionTable& table() const { return table_; }
+  const std::vector<Selection>& selections() const { return selections_; }
+
+ private:
+  scc::SccChip* chip_;
+  Params params_;
+  DecisionTable table_;
+  std::unique_ptr<Collective> delegate_;
+  std::string delegate_key_;
+  int active_ = 0;          ///< run() calls inside the current delegate
+  sim::Trigger quiesce_;    ///< fired when active_ drops to 0 or on switch
+  std::vector<Selection> selections_;
+};
+
+/// Installs AdaptiveBcast in the registry as "adaptive" (idempotent). The
+/// factory reads Params::adaptive_table_json when non-empty
+/// (DecisionTable::from_json) and ships the baked-in table otherwise.
+void register_adaptive();
+
+}  // namespace ocb::coll

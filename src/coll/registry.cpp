@@ -65,9 +65,13 @@ std::map<std::string, Factory>& table() {
 
 }  // namespace
 
-void register_collective(const std::string& name, Factory factory) {
+void register_collective(const std::string& name, Factory factory,
+                         bool allow_override) {
   OCB_REQUIRE(!name.empty(), "collective name must be non-empty");
   OCB_REQUIRE(static_cast<bool>(factory), "collective factory must be callable");
+  OCB_REQUIRE(allow_override || table().count(name) == 0,
+              "duplicate registration of collective '" + name +
+                  "' (pass allow_override to replace the existing factory)");
   table()[name] = std::move(factory);
 }
 

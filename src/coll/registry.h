@@ -36,13 +36,26 @@ struct Params {
   /// disjoint line ranges (mem/mpb_slots.h) so concurrent collectives never
   /// overlap buffers; honored by "ocbcast", "ft-ocbcast", "onesided-sag".
   std::size_t mpb_base_line = 0;
+  /// Caller-observed fault rate in [0,1]; "adaptive" uses it as the
+  /// decision-table fault coordinate (0 = trust the fault-free bands).
+  double observed_fault_rate = 0.0;
+  /// Inline "ocb-tune-decision-v1" JSON overriding the baked-in decision
+  /// table; empty selects DecisionTable::baked_in(). Only "adaptive" reads
+  /// it (see coll/adaptive.h).
+  std::string adaptive_table_json{};
 };
 
 using Factory =
     std::function<std::unique_ptr<Collective>(scc::SccChip&, const Params&)>;
 
-/// Registers (or replaces) a factory under `name`.
-void register_collective(const std::string& name, Factory factory);
+/// Registers a factory under `name`. Registering a name that already
+/// resolves (builtin or runtime) is a precondition error naming the
+/// colliding algorithm — a silent last-wins overwrite once cost a test its
+/// control arm — unless `allow_override` is passed, which documents the
+/// intent to replace the existing factory (e.g. re-registering "adaptive"
+/// with a freshly tuned decision table).
+void register_collective(const std::string& name, Factory factory,
+                         bool allow_override = false);
 
 /// True when `name` resolves (builtin or registered).
 bool registered(const std::string& name);

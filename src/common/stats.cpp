@@ -65,14 +65,21 @@ std::uint64_t LatencyHistogram::bucket_lower_bound(std::size_t index) {
 void LatencyHistogram::add(std::uint64_t sample) {
   ++buckets_[bucket_index(sample)];
   ++count_;
-  sum_ += sample;
+  const std::uint64_t prev = sum_lo_;
+  sum_lo_ += sample;
+  if (sum_lo_ < prev) ++sum_hi_;  // carry: the sum is a 128-bit pair
   min_ = std::min(min_, sample);
   max_ = std::max(max_, sample);
 }
 
 double LatencyHistogram::mean() const {
   OCB_REQUIRE(count_ > 0, "mean of empty histogram");
-  return static_cast<double>(sum_) / static_cast<double>(count_);
+  // 2^64 as a double is exact; the reconstructed sum loses only the
+  // precision inherent to double, never a wrapped-around high word.
+  constexpr double kTwo64 = 18446744073709551616.0;
+  const double sum =
+      static_cast<double>(sum_hi_) * kTwo64 + static_cast<double>(sum_lo_);
+  return sum / static_cast<double>(count_);
 }
 
 std::uint64_t LatencyHistogram::quantile(double q) const {
@@ -93,7 +100,11 @@ std::uint64_t LatencyHistogram::quantile(double q) const {
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
-  sum_ += other.sum_;
+  const std::uint64_t prev = sum_lo_;
+  sum_lo_ += other.sum_lo_;
+  sum_hi_ += other.sum_hi_ + (sum_lo_ < prev ? 1 : 0);
+  // An empty `other` contributes its min_ sentinel (~0), which std::min
+  // discards; an empty `this` adopts other's min the same way.
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }

@@ -32,8 +32,9 @@ class RunningStats {
 
 /// Streaming latency histogram with fixed log-scale buckets.
 ///
-/// Samples are nonnegative 64-bit integers (the service records simulated
-/// picoseconds). Buckets are HDR-style: values below 8 get exact unit
+/// Samples are nonnegative 64-bit integers (the broadcast service records
+/// integer nanoseconds — mean_ns/p999_ns in svc::ServiceMetrics::to_json).
+/// Buckets are HDR-style: values below 8 get exact unit
 /// buckets; above that, 8 sub-buckets per power of two, so every bucket's
 /// width is at most 12.5% of its lower edge. Bucketing is pure integer bit
 /// arithmetic — no logarithms — so identical inputs give identical
@@ -71,7 +72,12 @@ class LatencyHistogram {
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
+  /// 128-bit sample sum as a carry pair: a sustained-traffic run can push a
+  /// u64 sum past 2^64 (e.g. 2^32 samples of ~2^32 ns) and a silently
+  /// wrapped sum would corrupt mean() while every quantile still looked
+  /// sane. add()/merge() carry into sum_hi_ instead.
+  std::uint64_t sum_lo_ = 0;
+  std::uint64_t sum_hi_ = 0;
   std::uint64_t min_ = ~0ULL;
   std::uint64_t max_ = 0;
 };

@@ -1,12 +1,25 @@
 #include "harness/parallel.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
-#include <string>
 
 namespace ocb::harness {
 
 namespace {
 thread_local bool t_in_parallel_worker = false;
+
+/// Warns about a malformed env value at most once per variable per process
+/// (the getters are called once per sweep/run; a warning per call would
+/// flood stderr on large grids).
+void warn_once(bool& warned, const char* var, const char* value) {
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr,
+               "warning: ignoring malformed %s='%s' (want a nonnegative "
+               "integer); using the default\n",
+               var, value);
+}
 }  // namespace
 
 bool in_parallel_map_worker() { return t_in_parallel_worker; }
@@ -20,28 +33,58 @@ detail::ParallelWorkerScope::~ParallelWorkerScope() {
   t_in_parallel_worker = prev_;
 }
 
+detail::EnvParse detail::parse_thread_env(const char* value, unsigned& out) {
+  if (value == nullptr) return EnvParse::kUnset;
+  // Strict parse: the whole string must be decimal digits ("7abc", "-3",
+  // " 4", "+4", "" and overflow are all malformed, unlike the previous
+  // stol-based parse which silently accepted trailing garbage — strtoul
+  // alone would also skip leading whitespace and signs).
+  if (*value == '\0') return EnvParse::kMalformed;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return EnvParse::kMalformed;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || v > 0xffffffffUL) {
+    return EnvParse::kMalformed;
+  }
+  if (v == 0) return EnvParse::kZero;
+  out = static_cast<unsigned>(v);
+  return EnvParse::kValue;
+}
+
 unsigned pdes_threads() {
   if (t_in_parallel_worker) return 0;  // replication-level parallelism wins
-  if (const char* env = std::getenv("OCB_PDES_THREADS")) {
-    try {
-      const long v = std::stol(env);
-      if (v >= 0) return static_cast<unsigned>(v);
-    } catch (...) {
-      // Malformed value: treat as unset.
-    }
+  static bool warned = false;
+  const char* env = std::getenv("OCB_PDES_THREADS");
+  unsigned v = 0;
+  switch (detail::parse_thread_env(env, v)) {
+    case detail::EnvParse::kValue:
+      return v;
+    case detail::EnvParse::kMalformed:
+      warn_once(warned, "OCB_PDES_THREADS", env);
+      return 0;
+    case detail::EnvParse::kUnset:
+    case detail::EnvParse::kZero:
+      return 0;  // 0 and unset both mean "serial reference loop"
   }
   return 0;
 }
 
 unsigned sweep_threads() {
-  if (const char* env = std::getenv("OCB_SWEEP_THREADS")) {
-    try {
-      const long v = std::stol(env);
-      if (v >= 1) return static_cast<unsigned>(v);
-    } catch (...) {
-      // Malformed value: fall through to the hardware default.
-    }
-    return 1;
+  static bool warned = false;
+  const char* env = std::getenv("OCB_SWEEP_THREADS");
+  unsigned v = 0;
+  switch (detail::parse_thread_env(env, v)) {
+    case detail::EnvParse::kValue:
+      return v;
+    case detail::EnvParse::kMalformed:
+      warn_once(warned, "OCB_SWEEP_THREADS", env);
+      break;  // fall through to the hardware default, like unset
+    case detail::EnvParse::kUnset:
+    case detail::EnvParse::kZero:
+      break;  // 0 and unset both mean "hardware default"
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? hw : 1;

@@ -9,10 +9,14 @@
 // one — the merge order, and therefore every aggregate, is the task index
 // order, never the completion order.
 //
-// Thread count comes from OCB_SWEEP_THREADS (clamped to >= 1), else
-// std::thread::hardware_concurrency(). With one worker (or n <= 1 tasks)
-// parallel_map degenerates to a plain serial loop on the calling thread —
-// the reference behaviour the parallel path must reproduce.
+// Thread count comes from OCB_SWEEP_THREADS, else
+// std::thread::hardware_concurrency(). The two thread-count variables share
+// one grammar: unset and "0" both mean "the default" (hardware concurrency
+// for sweeps, disabled/serial for PDES), anything that is not a nonnegative
+// integer is malformed and falls back to that same default with a one-time
+// stderr warning. With one worker (or n <= 1 tasks) parallel_map
+// degenerates to a plain serial loop on the calling thread — the reference
+// behaviour the parallel path must reproduce.
 //
 // Thread-budget split vs. PDES (OCB_PDES_THREADS): the two knobs multiply,
 // so nesting them would oversubscribe the host. The rule is "replication
@@ -35,13 +39,16 @@
 
 namespace ocb::harness {
 
-/// Worker count for sweeps: OCB_SWEEP_THREADS if set (>= 1), else
-/// hardware_concurrency(), else 1.
+/// Worker count for sweeps: OCB_SWEEP_THREADS if it parses to >= 1, else
+/// hardware_concurrency(), else 1. "0", unset, and malformed values all
+/// yield the hardware default (malformed warns once to stderr).
 unsigned sweep_threads();
 
-/// Worker count for conservative-PDES chip runs: OCB_PDES_THREADS if set
-/// (>= 0), else 0 (= the serial reference loop). Returns 0 on a thread
-/// currently executing parallel_map tasks — the budget-split rule above.
+/// Worker count for conservative-PDES chip runs: OCB_PDES_THREADS if it
+/// parses to >= 1, else 0 (= the serial reference loop; "0", unset, and
+/// malformed values — the latter with a one-time warning). Returns 0 on a
+/// thread currently executing parallel_map tasks — the budget-split rule
+/// above.
 unsigned pdes_threads();
 
 /// True on a thread currently executing parallel_map tasks (including the
@@ -49,6 +56,16 @@ unsigned pdes_threads();
 bool in_parallel_map_worker();
 
 namespace detail {
+/// Shared grammar of the OCB_*_THREADS variables. kZero is distinct from
+/// kValue so callers can give "0" the same meaning as unset (sweeps:
+/// hardware default; PDES: disabled) instead of clamping it.
+enum class EnvParse { kUnset, kZero, kValue, kMalformed };
+
+/// Strictly parses `value` (may be null = kUnset) as a nonnegative decimal
+/// integer; writes positive results to `out`. Trailing garbage, signs,
+/// empty strings, and overflow are kMalformed.
+EnvParse parse_thread_env(const char* value, unsigned& out);
+
 /// RAII worker-scope marker for parallel_map; restores the previous value
 /// so nested parallel_map calls unwind correctly.
 class ParallelWorkerScope {

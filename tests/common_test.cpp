@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include "common/format.h"
 #include "common/require.h"
@@ -227,6 +228,113 @@ TEST(LatencyHistogram, MergeMatchesCombinedStream) {
   EXPECT_EQ(a.p50(), both.p50());
   EXPECT_EQ(a.p99(), both.p99());
   EXPECT_EQ(a.p999(), both.p999());
+}
+
+TEST(LatencyHistogram, MergeWithEmptyHistogram) {
+  LatencyHistogram empty, filled;
+  filled.add(7);
+  filled.add(1'000);
+
+  // Empty `other`: its min_ sentinel (~0) must not leak into the target.
+  LatencyHistogram a = filled;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 1'000u);
+  EXPECT_DOUBLE_EQ(a.mean(), filled.mean());
+
+  // Empty `this`: adopts other's stats wholesale.
+  LatencyHistogram b;
+  b.merge(filled);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 7u);
+  EXPECT_EQ(b.p50(), filled.p50());
+
+  // Empty + empty stays empty (and min() keeps reporting 0, not the
+  // sentinel).
+  LatencyHistogram c;
+  c.merge(empty);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.min(), 0u);
+  EXPECT_THROW(c.quantile(0.5), PreconditionError);
+}
+
+TEST(LatencyHistogram, QuantileAtSubBucketBoundaries) {
+  // Samples sitting exactly on sub-bucket lower edges must be reported
+  // exactly: for e=4 the edges are 16, 18, 20, ..., 30 (width 2).
+  LatencyHistogram h;
+  std::vector<std::uint64_t> edges;
+  for (std::uint64_t v = 16; v < 32; v += 2) {
+    ASSERT_EQ(LatencyHistogram::bucket_lower_bound(
+                  LatencyHistogram::bucket_index(v)),
+              v);
+    h.add(v);
+    edges.push_back(v);
+  }
+  // Nearest-rank: quantile i/8 is the i-th edge.
+  for (std::size_t i = 1; i <= edges.size(); ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(edges.size());
+    EXPECT_EQ(h.quantile(q), edges[i - 1]) << "q=" << q;
+  }
+  // One past an edge falls into the same bucket and reports its lower edge.
+  LatencyHistogram h2;
+  h2.add(17);
+  EXPECT_EQ(h2.quantile(1.0), 16u);
+}
+
+TEST(LatencyHistogram, NearTwo63SamplesUseLastBuckets) {
+  const std::uint64_t two62 = 1ULL << 62;
+  const std::uint64_t two63 = 1ULL << 63;
+  // 2^63 opens the last power-of-two range; ~0 lands in the very last
+  // bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(two63),
+            LatencyHistogram::kBuckets - LatencyHistogram::kSubBuckets);
+  EXPECT_EQ(LatencyHistogram::bucket_index(~0ULL),
+            LatencyHistogram::kBuckets - 1);
+
+  LatencyHistogram h;
+  h.add(two63);
+  h.add(two63);
+  h.add(two62);
+  EXPECT_EQ(h.max(), two63);
+  EXPECT_EQ(h.quantile(1.0), two63);
+  // The sample sum (2.5 * 2^63) exceeds 2^64: a u64 accumulator would have
+  // wrapped and reported a tiny mean. The widened accumulation keeps it.
+  const double expected =
+      (2.0 * static_cast<double>(two63) + static_cast<double>(two62)) / 3.0;
+  EXPECT_DOUBLE_EQ(h.mean(), expected);
+  EXPECT_GT(h.mean(), static_cast<double>(two62));
+}
+
+TEST(LatencyHistogram, QuantilesInvariantUnderMergeOrder) {
+  // Three disjoint streams merged in every order must agree bit-for-bit on
+  // every quantile (sweep aggregation relies on this).
+  auto make = [](std::uint64_t lo, std::uint64_t hi, std::uint64_t step) {
+    LatencyHistogram h;
+    for (std::uint64_t v = lo; v < hi; v += step) h.add(v);
+    return h;
+  };
+  const LatencyHistogram a = make(1, 400, 7);
+  const LatencyHistogram b = make(350, 20'000, 113);
+  const LatencyHistogram c = make(5, 3'000'000, 7919);
+
+  auto merged = [](const LatencyHistogram& x, const LatencyHistogram& y,
+                   const LatencyHistogram& z) {
+    LatencyHistogram m = x;
+    m.merge(y);
+    m.merge(z);
+    return m;
+  };
+  const LatencyHistogram abc = merged(a, b, c);
+  const LatencyHistogram cab = merged(c, a, b);
+  const LatencyHistogram bca = merged(b, c, a);
+  for (double q : {0.001, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(abc.quantile(q), cab.quantile(q)) << "q=" << q;
+    EXPECT_EQ(abc.quantile(q), bca.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(abc.min(), bca.min());
+  EXPECT_EQ(abc.max(), bca.max());
+  EXPECT_DOUBLE_EQ(abc.mean(), cab.mean());
 }
 
 TEST(TextTable, AlignsColumns) {
