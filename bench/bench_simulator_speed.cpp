@@ -32,6 +32,7 @@
 #include "coll/adaptive.h"
 #include "harness/fault_sweep.h"
 #include "harness/measurement.h"
+#include "noc/topology.h"
 #include "scc/trace_json.h"
 #include "svc/service.h"
 
@@ -161,6 +162,26 @@ WorkloadRecord run_ocbcast_workload(std::size_t lines) {
   const int reps = lines >= 8192 ? 3 : 10;
   return best_of("ocbcast_" + std::to_string(lines), reps, [lines] {
     const harness::BcastRunResult r = run_broadcast(ocbcast_spec(lines));
+    WorkloadRecord w;
+    w.events = r.events;
+    w.max_queue_depth = r.max_queue_depth;
+    w.frame_allocs = r.frame_allocs;
+    w.frame_reuses = r.frame_reuses;
+    copy_bulk_stats(w, r);
+    return w;
+  });
+}
+
+// The plain 1024-line broadcast on a 256-core 16x16 mesh (one core per
+// tile, noc::Topology::mesh) — tracks the event-loop cost of non-SCC
+// geometry: topology-table lookups instead of the old global constants,
+// and 5.3x the SCC's core count. Advisory in perf-smoke (schema v4).
+WorkloadRecord run_ocbcast_mesh_workload() {
+  return best_of("ocbcast_256core_mesh16x16", 5, [] {
+    harness::BcastRunSpec spec = ocbcast_spec(1024);
+    spec.config.topology = noc::Topology::mesh(16, 16, /*cores_per_tile=*/1);
+    spec.params.parties = 0;  // all 256 cores
+    const harness::BcastRunResult r = run_broadcast(spec);
     WorkloadRecord w;
     w.events = r.events;
     w.max_queue_depth = r.max_queue_depth;
@@ -333,6 +354,8 @@ int json_out_mode(const std::string& path) {
     std::fprintf(stderr, "running ocbcast_8192_pdes%u...\n", threads);
     records.push_back(run_ocbcast_pdes_workload(8192, threads));
   }
+  std::fprintf(stderr, "running ocbcast_256core_mesh16x16...\n");
+  records.push_back(run_ocbcast_mesh_workload());
   std::fprintf(stderr, "running adaptive_1024...\n");
   records.push_back(run_adaptive_workload());
   std::fprintf(stderr, "running ocbcast_1024_checked...\n");
@@ -347,7 +370,7 @@ int json_out_mode(const std::string& path) {
   records.push_back(run_fault_sweep_workload());
 
   std::ostringstream out;
-  out << "{\n  \"schema\": \"ocb-bench-simulator-speed-v3\",\n"
+  out << "{\n  \"schema\": \"ocb-bench-simulator-speed-v4\",\n"
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
       << ",\n"
       << "  \"workloads\": [\n";
@@ -441,6 +464,25 @@ int perf_smoke_mode(const std::string& baseline_path) {
         std::fprintf(stderr,
                      "perf-smoke WARNING: adaptive_1024 below the committed "
                      "baseline; not gating (advisory row)\n");
+      }
+    }
+  }
+
+  // The 256-core mesh row is advisory too: it tracks topology-table
+  // geometry cost on a non-SCC chip, but it is new in schema v4 and sized
+  // differently from the gating set, so it warns rather than fails.
+  {
+    const double base = baseline_rate(json, "ocbcast_256core_mesh16x16");
+    if (base > 0.0) {
+      const WorkloadRecord live = run_ocbcast_mesh_workload();
+      std::printf(
+          "perf-smoke ocbcast_256core_mesh16x16: live %.3gM events/s vs "
+          "committed %.3gM (advisory)\n",
+          live.events_per_sec / 1e6, base / 1e6);
+      if (live.events_per_sec < 0.7 * base) {
+        std::fprintf(stderr,
+                     "perf-smoke WARNING: ocbcast_256core_mesh16x16 below the "
+                     "committed baseline; not gating (advisory row)\n");
       }
     }
   }
@@ -541,6 +583,24 @@ void bench_chip_construction(benchmark::State& state) {
 BENCHMARK(bench_chip_construction)
     ->Unit(benchmark::kMicrosecond)
     ->Name("simulator/chip_construction");
+
+void bench_event_loop_mesh(benchmark::State& state) {
+  // The 1024-line OC-Bcast on a 256-core 16x16 mesh — the geometry-table
+  // cost of a non-SCC topology at 5.3x the core count.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    harness::BcastRunSpec spec = ocbcast_spec(1024);
+    spec.config.topology = noc::Topology::mesh(16, 16, /*cores_per_tile=*/1);
+    spec.params.parties = 0;
+    const harness::BcastRunResult r = run_broadcast(spec);
+    events += r.events;
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bench_event_loop_mesh)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("simulator/ocbcast_256core_mesh16x16");
 
 void bench_contention_experiment(benchmark::State& state) {
   std::uint64_t depth = 0;

@@ -20,6 +20,11 @@ const char* violation_kind_name(Violation::Kind kind) {
 
 RaceChecker::RaceChecker(scc::SccChip& chip, CheckOptions options)
     : chip_(&chip), options_(options) {
+  // The checker's vector clocks are fixed-size arrays dimensioned for the
+  // SCC; checked runs on larger topologies would need dynamic clocks (see
+  // DESIGN.md §14) and are rejected rather than silently mis-indexed.
+  OCB_REQUIRE(chip.topology().num_cores() <= static_cast<int>(kNumCores),
+              "race checker supports chips up to kNumCores cores");
   // DJIT+ epoch initialization: each core's own component starts at 1, so a
   // fresh access (epoch 1) is NOT ordered before a core that has never
   // acquired from it (whose view of that component is still 0). All-zero

@@ -38,7 +38,7 @@ sim::Task<void> AdaptiveBcast::run(scc::Core& self, CoreId root,
   // waits for its fire() (or, mid-stream, for the last laggard's).
   while (delegate_key_ != key) {
     if (active_ == 0) {
-      for (CoreId c = 0; c < kNumCores; ++c) {
+      for (CoreId c = 0; c < chip_->topology().num_cores(); ++c) {
         chip_->mpb(c).host_clear_lines(0, kMpbCacheLines);
       }
       delegate_ = make(choice.algorithm, *chip_, choice.apply(params_));

@@ -6,9 +6,11 @@
 #include "common/require.h"
 #include "core/binomial.h"
 #include "core/ft_ocbcast.h"
+#include "core/hier_bcast.h"
 #include "core/ocbcast.h"
 #include "core/onesided_sag.h"
 #include "core/scatter_allgather.h"
+#include "scc/chip.h"
 
 namespace ocb::coll {
 
@@ -48,6 +50,16 @@ std::map<std::string, Factory>& table() {
       o.mpb_base_line = p.mpb_base_line;
       return std::unique_ptr<Collective>(
           new core::OneSidedScatterAllgather(chip, o));
+    };
+    m["hier-ocbcast"] = [](scc::SccChip& chip, const Params& p) {
+      core::HierarchicalBcastOptions o;
+      o.parties = p.parties;
+      o.k = p.k;
+      o.die_k = p.die_k;
+      o.chunk_lines = p.chunk_lines;
+      o.double_buffering = p.double_buffering;
+      o.mpb_base_line = p.mpb_base_line;
+      return std::unique_ptr<Collective>(new core::HierarchicalBcast(chip, o));
     };
     m["ft-ocbcast"] = [](scc::SccChip& chip, const Params& p) {
       core::FtOcBcastOptions o;
@@ -94,6 +106,11 @@ std::unique_ptr<Collective> make(const std::string& name, scc::SccChip& chip,
       msg += registered_name;
     }
     OCB_REQUIRE(false, msg);
+  }
+  if (params.parties == 0) {  // "all cores of this chip"
+    Params resolved = params;
+    resolved.parties = chip.topology().num_cores();
+    return it->second(chip, resolved);
   }
   return it->second(chip, params);
 }

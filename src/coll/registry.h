@@ -25,9 +25,14 @@ namespace ocb::coll {
 
 /// Algorithm-agnostic tuning bundle; each factory picks what it honors.
 struct Params {
+  /// Participating cores 0..parties-1. The default is the SCC's 48; pass 0
+  /// for "all cores of the chip" (make() resolves it from the chip's
+  /// topology), or any explicit count up to chip.topology().num_cores().
   int parties = kNumCores;
   /// Tree fan-out (OC-Bcast family).
   int k = 7;
+  /// Fan-out of the relay tree over die leaders ("hier-ocbcast" only).
+  int die_k = 4;
   std::size_t chunk_lines = 96;
   bool double_buffering = true;
   bool leaf_direct_to_memory = false;
@@ -60,8 +65,8 @@ void register_collective(const std::string& name, Factory factory,
 /// True when `name` resolves (builtin or registered).
 bool registered(const std::string& name);
 
-/// Registered names, sorted; builtins are
-/// "ocbcast", "binomial", "scatter-allgather", "onesided-sag", "ft-ocbcast".
+/// Registered names, sorted; builtins are "ocbcast", "binomial",
+/// "scatter-allgather", "onesided-sag", "ft-ocbcast", "hier-ocbcast".
 std::vector<std::string> names();
 
 /// Instantiates `name` over `chip`. Algorithms own their MPB layout and

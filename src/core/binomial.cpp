@@ -7,7 +7,8 @@ namespace ocb::core {
 BinomialBcast::BinomialBcast(scc::SccChip& chip, BinomialOptions options)
     : options_(options),
       twosided_(std::make_unique<rma::TwoSided>(chip, options.layout)) {
-  OCB_REQUIRE(options_.parties >= 2 && options_.parties <= kNumCores,
+  OCB_REQUIRE(options_.parties >= 2 &&
+                  options_.parties <= chip.topology().num_cores(),
               "party count out of range");
 }
 

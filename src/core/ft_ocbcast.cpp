@@ -15,7 +15,8 @@ FtOcBcast::FtOcBcast(scc::SccChip& chip, FtOcBcastOptions options)
       buffer_count_(options.double_buffering ? 2 : 1),
       fence_(chip,
              [&] {
-               OCB_REQUIRE(options.parties >= 2 && options.parties <= kNumCores,
+               OCB_REQUIRE(options.parties >= 2 &&
+                               options.parties <= chip.topology().num_cores(),
                            "party count out of range");
                OCB_REQUIRE(options.k >= 1 && options.k <= options.parties - 1,
                            "fan-out must be in [1, parties-1]");
@@ -30,7 +31,11 @@ FtOcBcast::FtOcBcast(scc::SccChip& chip, FtOcBcastOptions options)
                return fence_base;
              }(),
              options.parties) {
-  last_root_.fill(-1);
+  const auto n = static_cast<std::size_t>(chip.topology().num_cores());
+  chunks_so_far_.assign(n, 0);
+  last_root_.assign(n, -1);
+  reports_.assign(n, DeliveryReport{});
+  presumed_dead_.assign(n, std::vector<bool>(n, false));
   const std::size_t end = options_.mpb_base_line + layout_lines();
   OCB_REQUIRE(end <= kMpbCacheLines,
               "FT-OC-Bcast layout (flags + staged + buffers + fence) exceeds "

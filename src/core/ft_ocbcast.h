@@ -45,8 +45,9 @@
 // Defaults (k=7, B=2, m=96): 208 of 256 lines.
 #pragma once
 
-#include <array>
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "core/bcast.h"
 #include "core/tree.h"
@@ -97,7 +98,9 @@ class FtOcBcast final : public BroadcastAlgorithm {
   const DeliveryReport& report(CoreId core) const {
     return reports_[static_cast<std::size_t>(core)];
   }
-  void reset_reports() { reports_.fill(DeliveryReport{}); }
+  void reset_reports() {
+    std::fill(reports_.begin(), reports_.end(), DeliveryReport{});
+  }
 
   // MPB layout (exposed for tests).
   std::size_t notify_line() const { return options_.mpb_base_line; }
@@ -150,12 +153,12 @@ class FtOcBcast final : public BroadcastAlgorithm {
   FtOcBcastOptions options_;
   std::size_t buffer_count_;
   rma::FlagBarrier fence_;
-  std::array<std::uint64_t, kNumCores> chunks_so_far_{};
-  std::array<CoreId, kNumCores> last_root_;
-  std::array<DeliveryReport, kNumCores> reports_{};
+  std::vector<std::uint64_t> chunks_so_far_;
+  std::vector<CoreId> last_root_;
+  std::vector<DeliveryReport> reports_;
   /// presumed_dead_[viewer][peer]: viewer's local suspicion; never shared
   /// (each core routes around failures on its own evidence).
-  std::array<std::array<bool, kNumCores>, kNumCores> presumed_dead_{};
+  std::vector<std::vector<bool>> presumed_dead_;
 };
 
 }  // namespace ocb::core

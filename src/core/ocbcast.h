@@ -28,8 +28,8 @@
 // barrier's own flag lines have root-independent writers).
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "core/bcast.h"
 #include "core/tree.h"
@@ -81,9 +81,9 @@ class OcBcast final : public BroadcastAlgorithm {
   rma::FlagBarrier fence_;
   /// Per-core count of chunks broadcast so far (the absolute sequence
   /// numbering); identical on every core because collective calls match.
-  std::array<std::uint64_t, kNumCores> chunks_so_far_{};
+  std::vector<std::uint64_t> chunks_so_far_;
   /// Previous call's root per core (-1 before the first call).
-  std::array<CoreId, kNumCores> last_root_;
+  std::vector<CoreId> last_root_;
 };
 
 }  // namespace ocb::core

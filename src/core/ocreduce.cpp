@@ -43,7 +43,8 @@ OcReduce::OcReduce(scc::SccChip& chip, OcReduceOptions options)
       options_(options),
       fence_(chip,
              [&] {
-               OCB_REQUIRE(options.parties >= 2 && options.parties <= kNumCores,
+               OCB_REQUIRE(options.parties >= 2 &&
+                               options.parties <= chip.topology().num_cores(),
                            "party count out of range");
                OCB_REQUIRE(options.k >= 1 && options.k <= options.parties - 1,
                            "fan-out must be in [1, parties-1]");
@@ -58,7 +59,9 @@ OcReduce::OcReduce(scc::SccChip& chip, OcReduceOptions options)
                return fence_base;
              }(),
              options.parties) {
-  last_root_.fill(-1);
+  const auto n = static_cast<std::size_t>(chip.topology().num_cores());
+  chunks_so_far_.assign(n, 0);
+  last_root_.assign(n, -1);
   OCB_REQUIRE(options_.mpb_base_line + layout_lines() <= kMpbCacheLines,
               "OC-Reduce layout (k+1 flags + buffers + fence) exceeds the "
               "256-line MPB");

@@ -82,8 +82,8 @@ class OcReduce {
   scc::SccChip* chip_;
   OcReduceOptions options_;
   rma::FlagBarrier fence_;
-  std::array<std::uint64_t, kNumCores> chunks_so_far_{};
-  std::array<CoreId, kNumCores> last_root_;
+  std::vector<std::uint64_t> chunks_so_far_;
+  std::vector<CoreId> last_root_;
 };
 
 /// Allreduce = OC-Reduce to the root + OC-Bcast of the result; both

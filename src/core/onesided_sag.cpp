@@ -44,14 +44,21 @@ OneSidedScatterAllgather::OneSidedScatterAllgather(scc::SccChip& chip,
       options_(options),
       fence_(chip,
              [&] {
-               OCB_REQUIRE(options.parties >= 2 && options.parties <= kNumCores,
+               OCB_REQUIRE(options.parties >= 2 &&
+                               options.parties <= chip.topology().num_cores(),
                            "party count out of range");
                OCB_REQUIRE(options.chunk_lines >= 1,
                            "chunk must be at least one line");
                return options.mpb_base_line + kFlagLines + 3 * options.chunk_lines;
              }(),
              options.parties) {
-  last_root_.fill(-1);
+  n_ = chip.topology().num_cores();
+  const auto n = static_cast<std::size_t>(n_);
+  last_root_.assign(n, -1);
+  staged_.assign(n, 0);
+  consumed_from_right_.assign(n, 0);
+  push_seq_.assign(n * n, 0);
+  drain_seq_.assign(n * n, 0);
   OCB_REQUIRE(options_.mpb_base_line + kFlagLines + 3 * options_.chunk_lines +
                       static_cast<std::size_t>(fence_.rounds()) <=
                   kMpbCacheLines,
@@ -69,7 +76,7 @@ std::size_t OneSidedScatterAllgather::stage_line(std::uint64_t parity) const {
 }
 
 std::uint64_t& OneSidedScatterAllgather::pair_seq(CoreId parent, CoreId child) {
-  return push_seq_[static_cast<std::size_t>(parent) * kNumCores +
+  return push_seq_[static_cast<std::size_t>(parent) * static_cast<std::size_t>(n_) +
                    static_cast<std::size_t>(child)];
 }
 
@@ -107,7 +114,7 @@ sim::Task<void> OneSidedScatterAllgather::drain_range(scc::Core& self, CoreId pa
   while (done < lines) {
     const std::size_t n = std::min(chunk, lines - done);
     const std::uint64_t s =
-        ++drain_seq_[static_cast<std::size_t>(parent) * kNumCores +
+        ++drain_seq_[static_cast<std::size_t>(parent) * static_cast<std::size_t>(n_) +
                      static_cast<std::size_t>(self.id())];
     co_await rma::wait_flag(
         self, rma::MpbAddr{self.id(), inbox_ready_line()},

@@ -96,15 +96,16 @@ class OneSidedScatterAllgather final : public BroadcastAlgorithm {
   scc::SccChip* chip_;
   OneSidedSagOptions options_;
   rma::FlagBarrier fence_;
-  std::array<CoreId, kNumCores> last_root_;
+  int n_;  ///< chip core count (pair-table stride)
+  std::vector<CoreId> last_root_;
   // Absolute chunk counters (each entry only ever touched by that core's
   // own coroutine; the engine is single-threaded).
-  std::array<std::uint64_t, kNumCores> staged_{};
-  std::array<std::uint64_t, kNumCores> consumed_from_right_{};
+  std::vector<std::uint64_t> staged_;
+  std::vector<std::uint64_t> consumed_from_right_;
   // Scatter (parent, child) sequence counters, advanced by the parent and
   // mirrored by the child (matched calls see identical schedules).
-  std::array<std::uint64_t, kNumCores * kNumCores> push_seq_{};
-  std::array<std::uint64_t, kNumCores * kNumCores> drain_seq_{};
+  std::vector<std::uint64_t> push_seq_;
+  std::vector<std::uint64_t> drain_seq_;
 };
 
 }  // namespace ocb::core

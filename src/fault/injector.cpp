@@ -1,5 +1,7 @@
 #include "fault/injector.h"
 
+#include "common/require.h"
+
 namespace ocb::fault {
 
 FaultInjector::FaultInjector(FaultPlan plan)
@@ -9,10 +11,16 @@ FaultInjector::FaultInjector(FaultPlan plan)
       crash_reported_(plan_.crashes.size(), false) {
   // Pre-sample the plan's per-line needs and per-core gate effects once
   // (the plan is immutable for the injector's lifetime; see injector.h).
+  // The injector's gate table is dimensioned for the SCC; fault plans on
+  // larger topologies would need a dynamic table and are rejected early.
   for (const StallInterval& s : plan_.stalls) {
+    OCB_REQUIRE(s.core >= 0 && s.core < kNumCores,
+                "fault plan stall core out of the injector's range");
     timing_faults_[static_cast<std::size_t>(s.core)] = true;
   }
   for (const FailStop& f : plan_.crashes) {
+    OCB_REQUIRE(f.core >= 0 && f.core < kNumCores,
+                "fault plan crash core out of the injector's range");
     timing_faults_[static_cast<std::size_t>(f.core)] = true;
   }
   perline_reads_ = plan_.rates.mpb_read > 0.0 || plan_.rates.mem_read > 0.0;

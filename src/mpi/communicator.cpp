@@ -15,7 +15,8 @@ constexpr sim::Duration kAddCost = 15 * sim::kNanosecond;
 
 Communicator::Communicator(scc::SccChip& chip, int size)
     : chip_(&chip), size_(size) {
-  OCB_REQUIRE(size >= 2 && size <= kNumCores, "communicator size out of range");
+  OCB_REQUIRE(size >= 2 && size <= chip.topology().num_cores(),
+              "communicator size out of range");
   core::OcBcastOptions oc;
   oc.parties = size;
   oc.k = std::min(7, size - 1);

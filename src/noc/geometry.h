@@ -1,8 +1,12 @@
-// SCC floorplan geometry: tiles, cores, router coordinates.
+// SCC floorplan geometry — forwarding shims over noc::Topology.
 //
-// The chip is a 6x4 mesh of tiles; tile (x, y) sits at column x (0..5) and
-// row y (0..3) and hosts cores 2*(y*6+x) and 2*(y*6+x)+1, each with half of
-// the tile's 16 KB Message Passing Buffer. Every tile has one router.
+// The geometry layer is now a first-class object (noc/topology.h): an
+// immutable `Topology` value describes the mesh, dies, and memory
+// controllers, and `Topology::scc()` is the paper's 6×4 chip. These free
+// functions survive as thin shims over `Topology::scc()` so existing code
+// and the paper-figure harnesses keep reading naturally; NEW code that can
+// see a chip should ask `chip.topology()` instead, and code that means
+// "the SCC specifically" should say `Topology::scc()`.
 //
 // Distance convention (paper §3.1): the model parameter d counts the number
 // of ROUTERS a packet traverses, so d = Manhattan distance + 1; accessing
@@ -14,68 +18,49 @@
 
 #include "common/require.h"
 #include "common/types.h"
+#include "noc/topology.h"
 
 namespace ocb::noc {
 
-/// Coordinates of a tile (= its router) on the mesh.
-struct TileCoord {
-  int x = 0;  ///< column, 0..kMeshCols-1
-  int y = 0;  ///< row, 0..kMeshRows-1
-
-  friend bool operator==(const TileCoord&, const TileCoord&) = default;
-};
-
-/// Validates a core id.
-inline void require_core(CoreId c) {
-  OCB_REQUIRE(c >= 0 && c < kNumCores, "core id out of range");
-}
+/// Validates a core id against the SCC's 48 cores.
+inline void require_core(CoreId c) { Topology::scc().require_core(c); }
 
 // These helpers sit on the per-event hot path of the simulator (every mesh
 // reservation computes tile indices), hence header-inline.
 
-/// Linear tile index in row-major order, 0..23.
-inline int tile_index(TileCoord t) {
-  OCB_REQUIRE(t.x >= 0 && t.x < kMeshCols && t.y >= 0 && t.y < kMeshRows,
-              "tile coordinate out of range");
-  return t.y * kMeshCols + t.x;
-}
+/// Linear tile index in row-major order, 0..23 (SCC mesh).
+inline int tile_index(TileCoord t) { return Topology::scc().tile_index(t); }
 
-/// Inverse of tile_index.
+/// Inverse of tile_index (SCC mesh).
 inline TileCoord tile_coord(int index) {
-  OCB_REQUIRE(index >= 0 && index < kNumTiles, "tile index out of range");
-  return TileCoord{index % kMeshCols, index / kMeshCols};
+  return Topology::scc().tile_coord(index);
 }
 
-/// Tile hosting a core.
+/// Tile hosting a core (SCC mesh).
 inline TileCoord tile_of_core(CoreId core) {
-  require_core(core);
-  return tile_coord(core / 2);
+  return Topology::scc().tile_of_core(core);
 }
 
-/// Linear tile index hosting a core.
+/// Linear tile index hosting a core (SCC mesh).
 inline int tile_index_of_core(CoreId core) {
-  require_core(core);
-  return core / 2;
+  return Topology::scc().tile_index_of_core(core);
 }
 
-/// The two cores of a tile: {2*index, 2*index + 1}.
+/// The two cores of a tile: {2*index, 2*index + 1} (SCC mesh).
 inline CoreId first_core_of_tile(int tile_index) {
-  OCB_REQUIRE(tile_index >= 0 && tile_index < kNumTiles, "tile index out of range");
-  return tile_index * 2;
+  return Topology::scc().first_core_of_tile(tile_index);
 }
 
 /// Manhattan distance between two tiles.
 inline int manhattan(TileCoord a, TileCoord b) {
-  const int dx = a.x - b.x;
-  const int dy = a.y - b.y;
-  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+  return Topology::manhattan(a, b);
 }
 
 /// Routers traversed by a packet from `a` to `b` (the model's d): one router
 /// per tile on the X-Y path, including source and destination routers; equals
 /// manhattan(a, b) + 1 (so 1 for a == b).
 inline int routers_traversed(TileCoord a, TileCoord b) {
-  return manhattan(a, b) + 1;
+  return Topology::routers_traversed(a, b);
 }
 
 }  // namespace ocb::noc

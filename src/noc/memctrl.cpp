@@ -1,20 +1,11 @@
+// Controller placement/assignment moved into noc::Topology (topology.cpp);
+// the shims in memctrl.h are header-inline. This TU intentionally left
+// (nearly) empty.
 #include "noc/memctrl.h"
 
 namespace ocb::noc {
 
-int mc_index_for_core(CoreId core) {
-  const TileCoord t = tile_of_core(core);
-  const bool east = t.x >= kMeshCols / 2;
-  const bool south = t.y >= kMeshRows / 2;
-  return (south ? 2 : 0) + (east ? 1 : 0);
-}
-
-TileCoord mc_tile_for_core(CoreId core) {
-  return kMcTiles[static_cast<std::size_t>(mc_index_for_core(core))];
-}
-
-int mem_distance(CoreId core) {
-  return routers_traversed(tile_of_core(core), mc_tile_for_core(core));
-}
+// The topology's SCC controller list must match the historical constant.
+static_assert(kNumMemoryControllers == 4);
 
 }  // namespace ocb::noc

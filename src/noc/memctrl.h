@@ -1,32 +1,44 @@
-// Memory controller placement and core->controller assignment.
+// Memory controller placement and core->controller assignment — SCC shims.
 //
-// The SCC has four DDR3 memory controllers attached at the mesh periphery;
-// we place them at routers (0,0), (5,0), (0,2), (5,2) and assign each core
-// the controller of its quadrant — the standard SCC arrangement. The paper
-// does not restate the layout but its Figure 3 memory panels span exactly
-// the 1..4-router distance range this yields.
+// The SCC has four DDR3 memory controllers attached at the mesh periphery,
+// at routers (0,0), (5,0), (0,2), (5,2), each core served by the controller
+// of its quadrant. The paper does not restate the layout but its Figure 3
+// memory panels span exactly the 1..4-router distance range this yields.
+//
+// Placement and assignment now live in noc::Topology (nearest controller of
+// the core's die, ties to the lowest index — which IS the quadrant scheme on
+// the SCC floorplan); these free functions shim `Topology::scc()` for the
+// paper-figure code. Chips built from other topologies ask
+// `chip.topology().mc_index_for_core(...)` etc. instead.
 #pragma once
 
 #include <array>
 
 #include "noc/geometry.h"
+#include "noc/topology.h"
 
 namespace ocb::noc {
 
 inline constexpr int kNumMemoryControllers = 4;
 
-/// Router locations of the four memory controllers.
+/// Router locations of the SCC's four memory controllers.
 inline constexpr std::array<TileCoord, kNumMemoryControllers> kMcTiles = {
     TileCoord{0, 0}, TileCoord{5, 0}, TileCoord{0, 2}, TileCoord{5, 2}};
 
 /// Index (0..3) of the controller serving a core's private memory.
-int mc_index_for_core(CoreId core);
+inline int mc_index_for_core(CoreId core) {
+  return Topology::scc().mc_index_for_core(core);
+}
 
 /// Router where that controller is attached.
-TileCoord mc_tile_for_core(CoreId core);
+inline TileCoord mc_tile_for_core(CoreId core) {
+  return Topology::scc().mc_tile_for_core(core);
+}
 
 /// Routers traversed between a core's tile and its memory controller
 /// (the model's d for off-chip accesses; 1..4 on this floorplan).
-int mem_distance(CoreId core);
+inline int mem_distance(CoreId core) {
+  return Topology::scc().mem_distance(core);
+}
 
 }  // namespace ocb::noc

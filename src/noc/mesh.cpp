@@ -2,34 +2,90 @@
 
 namespace ocb::noc {
 
-Mesh::Mesh(sim::Engine& engine, sim::Duration l_hop, sim::Duration link_occupancy)
-    : engine_(&engine), l_hop_(l_hop), link_occupancy_(link_occupancy) {
+namespace {
+
+TileCoord neighbour(TileCoord t, Direction dir) {
+  switch (dir) {
+    case Direction::kEast:
+      return TileCoord{t.x + 1, t.y};
+    case Direction::kWest:
+      return TileCoord{t.x - 1, t.y};
+    case Direction::kSouth:
+      return TileCoord{t.x, t.y + 1};
+    case Direction::kNorth:
+      return TileCoord{t.x, t.y - 1};
+  }
+  return t;  // unreachable
+}
+
+}  // namespace
+
+Mesh::Mesh(sim::Engine& engine, const Topology& topology, sim::Duration l_hop,
+           sim::Duration link_occupancy)
+    : engine_(&engine),
+      topology_(topology),
+      l_hop_(l_hop),
+      link_occupancy_(link_occupancy) {
   OCB_REQUIRE(l_hop > 0, "L_hop must be positive");
   OCB_REQUIRE(link_occupancy <= l_hop,
               "link occupancy above L_hop breaks the cut-through pipeline model");
-  for (int s = 0; s < kNumTiles; ++s) {
-    for (int d = 0; d < kNumTiles; ++d) {
-      const auto links = xy_route_links(tile_coord(s), tile_coord(d));
-      routes_[s][d] = RouteRef{static_cast<std::uint32_t>(route_storage_.size()),
-                               static_cast<std::uint32_t>(links.size())};
+  if (topology_.num_dies() > 1) {
+    OCB_REQUIRE(link_occupancy + topology_.interposer_extra_occupancy() <=
+                    l_hop + topology_.interposer_extra_latency(),
+                "interposer occupancy above interposer hop latency breaks the "
+                "cut-through pipeline model");
+  }
+  const int tiles = topology_.num_tiles();
+  const std::size_t slots = static_cast<std::size_t>(topology_.num_link_slots());
+  links_.resize(slots);
+  link_latency_.assign(slots, l_hop_);
+  link_occ_.assign(slots, link_occupancy_);
+  link_busy_.assign(slots, 0);
+  link_packets_.assign(slots, 0);
+  for (int t = 0; t < tiles; ++t) {
+    const TileCoord from = topology_.tile_coord(t);
+    for (int d = 0; d < 4; ++d) {
+      const TileCoord to = neighbour(from, static_cast<Direction>(d));
+      if (to.x < 0 || to.x >= topology_.mesh_cols() || to.y < 0 ||
+          to.y >= topology_.mesh_rows()) {
+        continue;  // edge of the mesh; slot never used
+      }
+      if (topology_.link_crosses_die(from, to)) {
+        const std::size_t slot = static_cast<std::size_t>(t * 4 + d);
+        link_latency_[slot] += topology_.interposer_extra_latency();
+        link_occ_[slot] += topology_.interposer_extra_occupancy();
+      }
+    }
+  }
+  routes_.resize(static_cast<std::size_t>(tiles) * static_cast<std::size_t>(tiles));
+  for (int s = 0; s < tiles; ++s) {
+    for (int d = 0; d < tiles; ++d) {
+      const auto links = xy_route_links(topology_, topology_.tile_coord(s),
+                                        topology_.tile_coord(d));
+      routes_[static_cast<std::size_t>(s) * static_cast<std::size_t>(tiles) +
+              static_cast<std::size_t>(d)] =
+          RouteRef{static_cast<std::uint32_t>(route_storage_.size()),
+                   static_cast<std::uint32_t>(links.size())};
       route_storage_.insert(route_storage_.end(), links.begin(), links.end());
     }
   }
 }
 
 sim::Time Mesh::reserve_path(sim::Time departure, TileCoord src, TileCoord dst) {
-  const RouteRef ref = routes_[tile_index(src)][tile_index(dst)];
-  // The packet spends L_hop in the source router, then one L_hop per link
-  // crossed (each subsequent router), holding every link for its
-  // serialization time starting when the head flit enters it.
+  const RouteRef ref = route_ref(src, dst);
+  // The packet spends L_hop in the source router, then one hop latency per
+  // link crossed (each subsequent router; interposer links are slower),
+  // holding every link for its serialization time starting when the head
+  // flit enters it.
   sim::Time cursor = departure;
   for (std::uint32_t i = 0; i < ref.length; ++i) {
     const LinkId link = route_storage_[ref.begin + i];
-    const sim::Time done = links_[link].reserve(cursor, link_occupancy_);
-    const sim::Time start = done - link_occupancy_;
-    link_busy_[link] += link_occupancy_;
-    ++link_packets_[link];
-    cursor = start + l_hop_;
+    const sim::Duration occ = link_occ_[static_cast<std::size_t>(link)];
+    const sim::Time done = links_[static_cast<std::size_t>(link)].reserve(cursor, occ);
+    const sim::Time start = done - occ;
+    link_busy_[static_cast<std::size_t>(link)] += occ;
+    ++link_packets_[static_cast<std::size_t>(link)];
+    cursor = start + link_latency_[static_cast<std::size_t>(link)];
   }
   // Final (destination) router traversal; for src == dst this is the single
   // local-router hop (d = 1).
@@ -37,12 +93,14 @@ sim::Time Mesh::reserve_path(sim::Time departure, TileCoord src, TileCoord dst) 
 }
 
 sim::Duration Mesh::link_total_occupancy(LinkId link) const {
-  OCB_REQUIRE(link >= 0 && link < kNumLinkSlots, "link id out of range");
+  OCB_REQUIRE(link >= 0 && link < topology_.num_link_slots(),
+              "link id out of range");
   return link_busy_[static_cast<std::size_t>(link)];
 }
 
 std::uint64_t Mesh::link_packets(LinkId link) const {
-  OCB_REQUIRE(link >= 0 && link < kNumLinkSlots, "link id out of range");
+  OCB_REQUIRE(link >= 0 && link < topology_.num_link_slots(),
+              "link id out of range");
   return link_packets_[static_cast<std::size_t>(link)];
 }
 

@@ -8,15 +8,20 @@
 // (paper §3.3), and tests assert both that property and that a
 // deliberately oversubscribed link does queue.
 //
+// Multi-die topologies: a link crossing a die boundary is an interposer
+// link; it pays the topology's extra latency on top of L_hop and extra
+// serialization on top of link_occupancy. Per-link timing is precomputed
+// at construction, so the reservation loop stays one Timeline op per link.
+//
 // Routes for all tile pairs are precomputed; traversals cost one event.
 #pragma once
 
-#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <vector>
 
 #include "noc/routing.h"
+#include "noc/topology.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
 
@@ -24,18 +29,36 @@ namespace ocb::noc {
 
 class Mesh {
  public:
-  Mesh(sim::Engine& engine, sim::Duration l_hop, sim::Duration link_occupancy);
+  /// Mesh over an explicit topology.
+  Mesh(sim::Engine& engine, const Topology& topology, sim::Duration l_hop,
+       sim::Duration link_occupancy);
+
+  /// SCC-mesh convenience (the historical signature).
+  Mesh(sim::Engine& engine, sim::Duration l_hop, sim::Duration link_occupancy)
+      : Mesh(engine, Topology::scc(), l_hop, link_occupancy) {}
 
   Mesh(const Mesh&) = delete;
   Mesh& operator=(const Mesh&) = delete;
 
   /// Books one packet departing at `departure` from `src` to `dst`;
-  /// returns its arrival time (>= departure + routers * L_hop).
+  /// returns its arrival time (>= departure + routers * L_hop
+  /// + die crossings * interposer extra latency).
   sim::Time reserve_path(sim::Time departure, TileCoord src, TileCoord dst);
 
-  /// Latency of an uncontended traversal crossing `routers` routers.
+  /// Latency of an uncontended traversal crossing `routers` routers, all
+  /// hops on-die. Single-die topologies only have such traversals; for a
+  /// path that may cross dies use the (src, dst) overload.
   sim::Duration uncontended_latency(int routers) const {
     return static_cast<sim::Duration>(routers) * l_hop_;
+  }
+
+  /// Latency of an uncontended traversal from `src` to `dst`: one L_hop per
+  /// router plus the interposer extra for every die boundary crossed.
+  sim::Duration uncontended_latency(TileCoord src, TileCoord dst) const {
+    return static_cast<sim::Duration>(Topology::routers_traversed(src, dst)) *
+               l_hop_ +
+           static_cast<sim::Duration>(topology_.die_crossings(src, dst)) *
+               topology_.interposer_extra_latency();
   }
 
   /// Awaitable: the calling coroutine "is" the packet; it resumes at the
@@ -55,10 +78,11 @@ class Mesh {
   }
 
   sim::Duration l_hop() const { return l_hop_; }
+  const Topology& topology() const { return topology_; }
 
   /// Directed links the precomputed X-Y route crosses (0 iff src == dst).
   int route_links(TileCoord src, TileCoord dst) const {
-    return static_cast<int>(routes_[tile_index(src)][tile_index(dst)].length);
+    return static_cast<int>(route_ref(src, dst).length);
   }
 
   /// Total occupancy ever reserved on a directed link (for tests/reports).
@@ -73,14 +97,25 @@ class Mesh {
     std::uint32_t length = 0;
   };
 
+  const RouteRef& route_ref(TileCoord src, TileCoord dst) const {
+    return routes_[static_cast<std::size_t>(topology_.tile_index(src)) *
+                       static_cast<std::size_t>(topology_.num_tiles()) +
+                   static_cast<std::size_t>(topology_.tile_index(dst))];
+  }
+
   sim::Engine* engine_;
+  Topology topology_;
   sim::Duration l_hop_;
   sim::Duration link_occupancy_;
-  std::array<sim::Timeline, kNumLinkSlots> links_{};
-  std::array<sim::Duration, kNumLinkSlots> link_busy_{};
-  std::array<std::uint64_t, kNumLinkSlots> link_packets_{};
+  std::vector<sim::Timeline> links_;
+  // Per-link timing (l_hop / link_occupancy plus interposer extras on
+  // die-boundary links), precomputed so the reservation loop is branch-free.
+  std::vector<sim::Duration> link_latency_;
+  std::vector<sim::Duration> link_occ_;
+  std::vector<sim::Duration> link_busy_;
+  std::vector<std::uint64_t> link_packets_;
   std::vector<LinkId> route_storage_;
-  std::array<std::array<RouteRef, kNumTiles>, kNumTiles> routes_{};
+  std::vector<RouteRef> routes_;
 };
 
 }  // namespace ocb::noc

@@ -14,29 +14,32 @@ Direction step_direction(TileCoord from, TileCoord to) {
 
 }  // namespace
 
-LinkId link_id(TileCoord from, Direction dir) {
+LinkId link_id(const Topology& topo, TileCoord from, Direction dir) {
   const int fx = from.x;
   const int fy = from.y;
   switch (dir) {
     case Direction::kEast:
-      OCB_REQUIRE(fx + 1 < kMeshCols, "east link off the mesh");
+      OCB_REQUIRE(fx + 1 < topo.mesh_cols(), "east link off the mesh");
       break;
     case Direction::kWest:
       OCB_REQUIRE(fx - 1 >= 0, "west link off the mesh");
       break;
     case Direction::kSouth:
-      OCB_REQUIRE(fy + 1 < kMeshRows, "south link off the mesh");
+      OCB_REQUIRE(fy + 1 < topo.mesh_rows(), "south link off the mesh");
       break;
     case Direction::kNorth:
       OCB_REQUIRE(fy - 1 >= 0, "north link off the mesh");
       break;
   }
-  return tile_index(from) * 4 + static_cast<int>(dir);
+  return topo.tile_index(from) * 4 + static_cast<int>(dir);
 }
 
-std::vector<TileCoord> xy_route(TileCoord src, TileCoord dst) {
+std::vector<TileCoord> xy_route(const Topology& topo, TileCoord src,
+                                TileCoord dst) {
+  topo.tile_index(src);  // bounds checks
+  topo.tile_index(dst);
   std::vector<TileCoord> route;
-  route.reserve(static_cast<std::size_t>(manhattan(src, dst)) + 1);
+  route.reserve(static_cast<std::size_t>(Topology::manhattan(src, dst)) + 1);
   TileCoord cur = src;
   route.push_back(cur);
   while (cur.x != dst.x) {
@@ -50,20 +53,24 @@ std::vector<TileCoord> xy_route(TileCoord src, TileCoord dst) {
   return route;
 }
 
-std::vector<LinkId> xy_route_links(TileCoord src, TileCoord dst) {
-  const std::vector<TileCoord> route = xy_route(src, dst);
+std::vector<LinkId> xy_route_links(const Topology& topo, TileCoord src,
+                                   TileCoord dst) {
+  const std::vector<TileCoord> route = xy_route(topo, src, dst);
   std::vector<LinkId> links;
   links.reserve(route.size() - 1);
   for (std::size_t i = 0; i + 1 < route.size(); ++i) {
-    links.push_back(link_id(route[i], step_direction(route[i], route[i + 1])));
+    links.push_back(
+        link_id(topo, route[i], step_direction(route[i], route[i + 1])));
   }
   return links;
 }
 
-bool route_uses_link(TileCoord src, TileCoord dst, TileCoord from, TileCoord towards) {
-  OCB_REQUIRE(manhattan(from, towards) == 1, "link endpoints must be adjacent");
-  const LinkId wanted = link_id(from, step_direction(from, towards));
-  for (LinkId l : xy_route_links(src, dst)) {
+bool route_uses_link(const Topology& topo, TileCoord src, TileCoord dst,
+                     TileCoord from, TileCoord towards) {
+  OCB_REQUIRE(Topology::manhattan(from, towards) == 1,
+              "link endpoints must be adjacent");
+  const LinkId wanted = link_id(topo, from, step_direction(from, towards));
+  for (LinkId l : xy_route_links(topo, src, dst)) {
     if (l == wanted) return true;
   }
   return false;

@@ -4,11 +4,17 @@
 // dimension to the destination column, then along Y to the destination row.
 // Links are the directed edges between adjacent routers; they are the unit
 // at which the mesh model accounts occupancy.
+//
+// Routing is dimension-ordered on the GLOBAL mesh, so it is identical for
+// single- and multi-die topologies — a link that happens to cross a die
+// boundary is still just a directed edge; only its timing differs (the mesh
+// model adds the topology's interposer extras for such links).
 #pragma once
 
 #include <vector>
 
 #include "noc/geometry.h"
+#include "noc/topology.h"
 
 namespace ocb::noc {
 
@@ -18,23 +24,45 @@ enum class Direction : std::uint8_t { kEast = 0, kWest = 1, kNorth = 2, kSouth =
 /// Identifier of a directed link: source router index * 4 + direction.
 using LinkId = int;
 
+/// Link-slot count of the SCC mesh; for other topologies use
+/// `topology.num_link_slots()`.
 inline constexpr int kNumLinkSlots = kNumTiles * 4;
 
-/// Directed link from `from` towards `dir`. The neighbouring router must
-/// exist (checked).
-LinkId link_id(TileCoord from, Direction dir);
+/// Directed link from `from` towards `dir` on `topo`'s mesh. The
+/// neighbouring router must exist (checked).
+LinkId link_id(const Topology& topo, TileCoord from, Direction dir);
 
 /// Router sequence of the X-Y route from `src` to `dst` (inclusive of both;
-/// a single-element route when src == dst).
-std::vector<TileCoord> xy_route(TileCoord src, TileCoord dst);
+/// a single-element route when src == dst). Route shape is
+/// topology-independent; bounds are checked against `topo`.
+std::vector<TileCoord> xy_route(const Topology& topo, TileCoord src,
+                                TileCoord dst);
 
 /// Directed links of the X-Y route, in traversal order (empty when
 /// src == dst).
-std::vector<LinkId> xy_route_links(TileCoord src, TileCoord dst);
+std::vector<LinkId> xy_route_links(const Topology& topo, TileCoord src,
+                                   TileCoord dst);
 
 /// True if the route from src to dst traverses the directed link
 /// from->towards (adjacent tiles). Used by the §3.3 mesh-stress experiment
 /// to pick flows through a chosen link.
-bool route_uses_link(TileCoord src, TileCoord dst, TileCoord from, TileCoord towards);
+bool route_uses_link(const Topology& topo, TileCoord src, TileCoord dst,
+                     TileCoord from, TileCoord towards);
+
+// --- SCC shims (see geometry.h header comment) -----------------------------
+
+inline LinkId link_id(TileCoord from, Direction dir) {
+  return link_id(Topology::scc(), from, dir);
+}
+inline std::vector<TileCoord> xy_route(TileCoord src, TileCoord dst) {
+  return xy_route(Topology::scc(), src, dst);
+}
+inline std::vector<LinkId> xy_route_links(TileCoord src, TileCoord dst) {
+  return xy_route_links(Topology::scc(), src, dst);
+}
+inline bool route_uses_link(TileCoord src, TileCoord dst, TileCoord from,
+                            TileCoord towards) {
+  return route_uses_link(Topology::scc(), src, dst, from, towards);
+}
 
 }  // namespace ocb::noc

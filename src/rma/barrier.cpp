@@ -22,7 +22,8 @@ FlagBarrier::FlagBarrier(scc::SccChip& chip, std::size_t base_line, int parties)
       parties_(parties),
       rounds_(rounds_for(parties)),
       epoch_(static_cast<std::size_t>(parties), 0) {
-  OCB_REQUIRE(parties >= 1 && parties <= kNumCores, "party count out of range");
+  OCB_REQUIRE(parties >= 1 && parties <= chip.topology().num_cores(),
+              "party count out of range");
   OCB_REQUIRE(base_line + static_cast<std::size_t>(rounds_) <= kMpbCacheLines,
               "barrier flag lines exceed the MPB");
 }

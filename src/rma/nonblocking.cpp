@@ -8,21 +8,24 @@
 namespace ocb::rma {
 
 AsyncTwoSided::AsyncTwoSided(scc::SccChip& chip, TwoSidedLayout layout)
-    : chip_(&chip), layout_(layout) {
+    : chip_(&chip), layout_(layout), n_(chip.topology().num_cores()) {
   layout_.validate();
+  const auto pairs = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  send_seq_.assign(pairs, 0);
+  recv_seq_.assign(pairs, 0);
 }
 
 std::uint64_t& AsyncTwoSided::send_seq(CoreId from, CoreId to) {
-  noc::require_core(from);
-  noc::require_core(to);
-  return send_seq_[static_cast<std::size_t>(from) * kNumCores +
+  chip_->topology().require_core(from);
+  chip_->topology().require_core(to);
+  return send_seq_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
                    static_cast<std::size_t>(to)];
 }
 
 std::uint64_t& AsyncTwoSided::recv_seq(CoreId from, CoreId to) {
-  noc::require_core(from);
-  noc::require_core(to);
-  return recv_seq_[static_cast<std::size_t>(from) * kNumCores +
+  chip_->topology().require_core(from);
+  chip_->topology().require_core(to);
+  return recv_seq_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
                    static_cast<std::size_t>(to)];
 }
 

@@ -22,7 +22,6 @@
 //   // or: co_await async.wait(me, req);                 // park until done
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <deque>
 
@@ -96,8 +95,9 @@ class AsyncTwoSided {
   // deque: stable references across concurrent isend/irecv posts
   // (test()/wait() hold a State& across suspension points).
   std::deque<State> states_;
-  std::array<std::uint64_t, kNumCores * kNumCores> send_seq_{};
-  std::array<std::uint64_t, kNumCores * kNumCores> recv_seq_{};
+  int n_;  ///< chip core count (pair-table stride)
+  std::vector<std::uint64_t> send_seq_;
+  std::vector<std::uint64_t> recv_seq_;
 };
 
 }  // namespace ocb::rma

@@ -21,7 +21,7 @@
 // block until their side of the transfer completes (RCCE semantics).
 #pragma once
 
-#include <array>
+#include <vector>
 
 #include "rma/flags.h"
 
@@ -61,8 +61,9 @@ class TwoSided {
 
   scc::SccChip* chip_;
   TwoSidedLayout layout_;
-  std::array<std::uint64_t, kNumCores * kNumCores> send_seq_{};
-  std::array<std::uint64_t, kNumCores * kNumCores> recv_seq_{};
+  int n_;  ///< chip core count (pair-table stride)
+  std::vector<std::uint64_t> send_seq_;
+  std::vector<std::uint64_t> recv_seq_;
 };
 
 }  // namespace ocb::rma

@@ -27,7 +27,7 @@ BulkOp::BulkOp(Core& self)
   o_cache_hit_ = cfg.o_cache_hit;
   cache_enabled_ = cfg.cache_enabled;
   local_mpb_uses_port_ = cfg.local_mpb_uses_port;
-  mc_server_ = &chip_->mc_port(noc::mc_index_for_core(id_));
+  mc_server_ = &chip_->mc_port(chip_->topology().mc_index_for_core(id_));
   memory_ = &chip_->memory(id_);
   mc_cross_ = !(mc_tile_ == tile_);
 }
@@ -41,10 +41,11 @@ BulkOp::Half BulkOp::mpb_half(CoreId owner, std::size_t first_line,
   h.stride = 1;
   h.mpb = &chip_->mpb(owner);
   h.ported = owner != id_ || local_mpb_uses_port_;
-  h.dst_tile = noc::tile_of_core(owner);
+  h.dst_tile = chip_->topology().tile_of_core(owner);
   h.cross = !(h.dst_tile == tile_);
   h.server =
-      h.ported ? &chip_->mpb_port(noc::tile_index_of_core(owner)) : nullptr;
+      h.ported ? &chip_->mpb_port(chip_->topology().tile_index_of_core(owner))
+               : nullptr;
   h.overhead = o_mpb_core_;
   h.service = t_mpb_port_;
   h.target = owner;

@@ -10,17 +10,39 @@ namespace ocb::scc {
 
 SccChip::SccChip(const SccConfig& config) : config_(config) {
   config_.validate();
+  const noc::Topology& topo = config_.topology;
+  // PDES partition invariant: the topology's lane map must cover every lane
+  // monotonically so each lane is one contiguous tile range (the event key
+  // space depends on it; see DESIGN.md §11). Guaranteed by construction of
+  // pdes_lane_of_tile_index, but cheap to pin down here — this is what the
+  // old id/6 split silently violated on non-6-column meshes.
+  for (int t = 1; t < topo.num_tiles(); ++t) {
+    OCB_ENSURE(lane_of_tile_index(t) >= lane_of_tile_index(t - 1),
+               "PDES lane map must be monotone in tile index");
+  }
+  OCB_ENSURE(lane_of_tile_index(topo.num_tiles() - 1) <
+                 sim::Engine::kMaxLanes,
+             "PDES lane map exceeds the engine's lane count");
   refresh_coalescing();
-  mesh_ = std::make_unique<noc::Mesh>(engine_, config_.l_hop, config_.link_occupancy);
-  for (int t = 0; t < kNumTiles; ++t) {
+  mesh_ = std::make_unique<noc::Mesh>(engine_, topo, config_.l_hop,
+                                      config_.link_occupancy);
+  mpb_ports_.resize(static_cast<std::size_t>(topo.num_tiles()));
+  for (int t = 0; t < topo.num_tiles(); ++t) {
     mpb_ports_[static_cast<std::size_t>(t)] =
         std::make_unique<sim::ArbitratedServer>(engine_, config_.arbitration);
   }
-  for (int m = 0; m < noc::kNumMemoryControllers; ++m) {
+  mc_ports_.resize(static_cast<std::size_t>(topo.num_memory_controllers()));
+  for (int m = 0; m < topo.num_memory_controllers(); ++m) {
     mc_ports_[static_cast<std::size_t>(m)] =
         std::make_unique<sim::ArbitratedServer>(engine_, config_.arbitration);
   }
-  for (CoreId c = 0; c < kNumCores; ++c) {
+  const auto cores = static_cast<std::size_t>(topo.num_cores());
+  mpbs_.resize(cores);
+  memories_.resize(cores);
+  cores_.resize(cores);
+  bulk_pools_.resize(cores);
+  crash_notified_.assign(cores, false);
+  for (CoreId c = 0; c < topo.num_cores(); ++c) {
     const auto i = static_cast<std::size_t>(c);
     mpbs_[i] = std::make_unique<mem::MpbStorage>(engine_);
     memories_[i] = std::make_unique<mem::PrivateMemory>(config_.private_memory_limit);
@@ -28,16 +50,22 @@ SccChip::SccChip(const SccConfig& config) : config_(config) {
   }
 }
 
+SccChip::SccChip(const noc::Topology& topology, SccConfig config)
+    : SccChip([&] {
+        config.topology = topology;
+        return config;
+      }()) {}
+
 SccChip::~SccChip() = default;
 
 Core& SccChip::core(CoreId id) {
-  noc::require_core(id);
+  config_.topology.require_core(id);
   return *cores_[static_cast<std::size_t>(id)];
 }
 
 BulkOp* SccChip::try_acquire_bulk(CoreId id, std::size_t lines) {
   if (!coalescing_active()) return nullptr;
-  noc::require_core(id);
+  config_.topology.require_core(id);
   if (!observers_.empty() && !bulk_window_clear(id)) {
     note_bulk_fallback(lines);
     return nullptr;
@@ -108,22 +136,22 @@ void SccChip::TraceSinkObserver::on_bulk(const BulkTxn& txn) {
 }
 
 mem::MpbStorage& SccChip::mpb(CoreId id) {
-  noc::require_core(id);
+  config_.topology.require_core(id);
   return *mpbs_[static_cast<std::size_t>(id)];
 }
 
 mem::PrivateMemory& SccChip::memory(CoreId id) {
-  noc::require_core(id);
+  config_.topology.require_core(id);
   return *memories_[static_cast<std::size_t>(id)];
 }
 
 sim::ArbitratedServer& SccChip::mpb_port(int tile_index) {
-  OCB_REQUIRE(tile_index >= 0 && tile_index < kNumTiles, "tile index out of range");
+  config_.topology.require_tile(tile_index);
   return *mpb_ports_[static_cast<std::size_t>(tile_index)];
 }
 
 sim::ArbitratedServer& SccChip::mc_port(int mc_index) {
-  OCB_REQUIRE(mc_index >= 0 && mc_index < noc::kNumMemoryControllers,
+  OCB_REQUIRE(mc_index >= 0 && mc_index < config_.topology.num_memory_controllers(),
               "memory controller index out of range");
   return *mc_ports_[static_cast<std::size_t>(mc_index)];
 }

@@ -1,13 +1,15 @@
-// SccChip: the assembled 48-core machine.
+// SccChip: the assembled machine (48-core SCC by default).
 //
 // Owns the event engine, the mesh, per-core MPB storage and private
-// memories, per-tile MPB ports, and per-controller banks; creates the 48
-// Core objects and spawns application coroutines onto them.
+// memories, per-tile MPB ports, and per-controller banks; creates the Core
+// objects and spawns application coroutines onto them. The floorplan comes
+// from config().topology (noc/topology.h): the default is the paper's SCC,
+// and any N×M mesh or multi-die grid builds the same way with more tiles.
 //
 // Typical use:
 //
 //   scc::SccChip chip;                       // default = paper's SCC
-//   for (CoreId c = 0; c < kNumCores; ++c)
+//   for (CoreId c = 0; c < chip.num_cores(); ++c)
 //     chip.spawn(c, [&](scc::Core& core) { return my_program(core); });
 //   auto result = chip.run();                // drains all events
 //
@@ -37,12 +39,19 @@ class BulkOp;
 class SccChip {
  public:
   explicit SccChip(const SccConfig& config = SccConfig{});
+
+  /// Convenience: a chip over `topology` with otherwise-default (or given)
+  /// timing parameters.
+  explicit SccChip(const noc::Topology& topology,
+                   SccConfig config = SccConfig{});
   ~SccChip();
 
   SccChip(const SccChip&) = delete;
   SccChip& operator=(const SccChip&) = delete;
 
   const SccConfig& config() const { return config_; }
+  const noc::Topology& topology() const { return config_.topology; }
+  int num_cores() const { return config_.topology.num_cores(); }
   sim::Engine& engine() { return engine_; }
   sim::Time now() const { return engine_.now(); }
   noc::Mesh& mesh() { return *mesh_; }
@@ -67,18 +76,21 @@ class SccChip {
 
   // --- conservative PDES (parallel chip runs) -----------------------------
 
-  /// Partition map: contiguous 3-tile groups (6 cores) per lane, 8 lanes.
-  /// Fixed regardless of worker count — the partition is part of the event
-  /// key space, not of the execution policy.
-  static unsigned lane_of_core(CoreId id) {
-    return static_cast<unsigned>(id) / (kNumCores / sim::Engine::kMaxLanes);
+  /// Partition map: contiguous tile-index ranges over kMaxLanes lanes,
+  /// derived from the topology (on the SCC: 3 tiles = 6 cores per lane,
+  /// the historical id/6 split, bit-identical). Fixed regardless of worker
+  /// count — the partition is part of the event key space, not of the
+  /// execution policy. The monotone-contiguity invariant is OCB_REQUIREd at
+  /// chip construction.
+  unsigned lane_of_core(CoreId id) const {
+    return lane_of_tile_index(config_.topology.tile_index_of_core(id));
   }
-  static unsigned lane_of_tile_index(int tile_index) {
-    return static_cast<unsigned>(tile_index) /
-           (kNumTiles / sim::Engine::kMaxLanes);
+  unsigned lane_of_tile_index(int tile_index) const {
+    return config_.topology.pdes_lane_of_tile_index(tile_index,
+                                                    sim::Engine::kMaxLanes);
   }
-  static unsigned lane_of_tile(noc::TileCoord tile) {
-    return lane_of_tile_index(noc::tile_index(tile));
+  unsigned lane_of_tile(noc::TileCoord tile) const {
+    return lane_of_tile_index(config_.topology.tile_index(tile));
   }
 
   /// True while a PDES run is draining the chip (any worker count,
@@ -254,13 +266,13 @@ class SccChip {
   SccConfig config_;
   sim::Engine engine_;
   std::unique_ptr<noc::Mesh> mesh_;
-  std::array<std::unique_ptr<mem::MpbStorage>, kNumCores> mpbs_;
-  std::array<std::unique_ptr<mem::PrivateMemory>, kNumCores> memories_;
-  std::array<std::unique_ptr<sim::ArbitratedServer>, kNumTiles> mpb_ports_;
-  std::array<std::unique_ptr<sim::ArbitratedServer>, noc::kNumMemoryControllers>
-      mc_ports_;
-  std::array<std::unique_ptr<Core>, kNumCores> cores_;
-  std::array<std::vector<std::unique_ptr<BulkOp>>, kNumCores> bulk_pools_;
+  // Sized from config_.topology at construction.
+  std::vector<std::unique_ptr<mem::MpbStorage>> mpbs_;
+  std::vector<std::unique_ptr<mem::PrivateMemory>> memories_;
+  std::vector<std::unique_ptr<sim::ArbitratedServer>> mpb_ports_;
+  std::vector<std::unique_ptr<sim::ArbitratedServer>> mc_ports_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::vector<std::unique_ptr<BulkOp>>> bulk_pools_;
   std::vector<TransactionObserver*> observers_;
   // Quiescent dispatch lists, rebuilt by refresh_coalescing(): observers
   // that asked for per-line reads/writes/completes, and those that asked
@@ -271,7 +283,7 @@ class SccChip {
   std::vector<TransactionObserver*> bulk_summary_;
   BulkObserverStats bulk_stats_;
   TraceSinkObserver trace_observer_;
-  std::array<bool, kNumCores> crash_notified_{};
+  std::vector<bool> crash_notified_;
   bool coalescing_active_ = false;
   bool pdes_active_ = false;
   bool dynamic_spawning_ = false;

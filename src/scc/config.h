@@ -20,12 +20,19 @@
 
 #include <cstdint>
 
+#include "noc/topology.h"
 #include "sim/resource.h"
 #include "sim/time.h"
 
 namespace ocb::scc {
 
 struct SccConfig {
+  // --- geometry ---------------------------------------------------------
+  /// Chip floorplan: mesh shape, dies, interposer timing, MC placement.
+  /// Defaults to the paper's SCC (6×4 tiles, 2 cores/tile, 4 corner MCs);
+  /// see noc/topology.h for the mesh()/multi_die()/parse() factories.
+  noc::Topology topology = noc::Topology::scc();
+
   // --- mesh -----------------------------------------------------------
   /// Per-router packet latency (Table 1: 0.005 us).
   sim::Duration l_hop = 5 * sim::kNanosecond;

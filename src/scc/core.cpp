@@ -115,16 +115,18 @@ void DataCache::clear() {
 Core::Core(SccChip& chip, CoreId id)
     : chip_(&chip),
       id_(id),
-      tile_(noc::tile_of_core(id)),
-      mc_tile_(noc::mc_tile_for_core(id)),
-      mem_distance_(noc::mem_distance(id)),
+      tile_(chip.topology().tile_of_core(id)),
+      mc_tile_(chip.topology().mc_tile_for_core(id)),
+      mc_index_(chip.topology().mc_index_for_core(id)),
+      mem_distance_(chip.topology().mem_distance(id)),
       cache_(chip.config().cache_capacity_lines),
       rng_(SplitMix64(chip.config().seed + 0x9e37u * static_cast<std::uint64_t>(id))
                .next()),
       irq_trigger_(chip.engine()) {}
 
 int Core::mpb_distance(CoreId other) const {
-  return noc::routers_traversed(tile_, noc::tile_of_core(other));
+  return noc::Topology::routers_traversed(tile_,
+                                          chip_->topology().tile_of_core(other));
 }
 
 sim::Time Core::now() const { return chip_->engine().now(); }
@@ -166,21 +168,20 @@ sim::Task<void> Core::busy(sim::Duration d) {
 sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& out,
                                     std::uint64_t* epoch_out) {
   const SccConfig& cfg = chip_->config();
-  const noc::TileCoord owner_tile = noc::tile_of_core(owner);
+  const noc::TileCoord owner_tile = chip_->topology().tile_of_core(owner);
   if (chip_->pdes_active()) {
     // Fused remote entry: core-side overhead + uncontended request
     // traversal as ONE event, landing on the line's home lane. Same
     // completion times as the serial path (jitter is zero under PDES and
     // the mesh never queues a link in this regime); one event fewer per
     // crossing; latency >= the run's lookahead by construction.
-    const int routers = noc::routers_traversed(tile_, owner_tile);
-    const sim::Duration wire = chip_->mesh().uncontended_latency(routers);
-    co_await chip_->engine().hop(SccChip::lane_of_tile(owner_tile),
+    const sim::Duration wire = chip_->mesh().uncontended_latency(tile_, owner_tile);
+    co_await chip_->engine().hop(chip_->lane_of_tile(owner_tile),
                                  now() + cfg.o_mpb_core + wire);
     if (owner == id_ && !cfg.local_mpb_uses_port) {
       co_await chip_->engine().sleep(cfg.t_mpb_port);
     } else {
-      co_await chip_->mpb_port(noc::tile_index_of_core(owner))
+      co_await chip_->mpb_port(chip_->topology().tile_index_of_core(owner))
           .use(cfg.t_mpb_port, /*priority=*/id_);
     }
     // Epoch and value are read together at the access point, on the home
@@ -207,7 +208,7 @@ sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& o
     // Own MPB: same latency, but no arbitration against remote requesters.
     co_await chip_->engine().sleep(cfg.t_mpb_port);
   } else {
-    co_await chip_->mpb_port(noc::tile_index_of_core(owner))
+    co_await chip_->mpb_port(chip_->topology().tile_index_of_core(owner))
         .use(cfg.t_mpb_port, /*priority=*/id_);
   }
   out = chip_->mpb(owner).load(line);
@@ -222,16 +223,15 @@ sim::Task<void> Core::mpb_read_line(CoreId owner, std::size_t line, CacheLine& o
 
 sim::Task<void> Core::mpb_write_line(CoreId owner, std::size_t line, CacheLine value) {
   const SccConfig& cfg = chip_->config();
-  const noc::TileCoord owner_tile = noc::tile_of_core(owner);
+  const noc::TileCoord owner_tile = chip_->topology().tile_of_core(owner);
   if (chip_->pdes_active()) {
-    const int routers = noc::routers_traversed(tile_, owner_tile);
-    const sim::Duration wire = chip_->mesh().uncontended_latency(routers);
-    co_await chip_->engine().hop(SccChip::lane_of_tile(owner_tile),
+    const sim::Duration wire = chip_->mesh().uncontended_latency(tile_, owner_tile);
+    co_await chip_->engine().hop(chip_->lane_of_tile(owner_tile),
                                  now() + cfg.o_mpb_core + wire);
     if (owner == id_ && !cfg.local_mpb_uses_port) {
       co_await chip_->engine().sleep(cfg.t_mpb_port);
     } else {
-      co_await chip_->mpb_port(noc::tile_index_of_core(owner))
+      co_await chip_->mpb_port(chip_->topology().tile_index_of_core(owner))
           .use(cfg.t_mpb_port, /*priority=*/id_);
     }
     // Visibility (store + trigger fire) on the home lane, one response
@@ -248,7 +248,7 @@ sim::Task<void> Core::mpb_write_line(CoreId owner, std::size_t line, CacheLine v
   if (owner == id_ && !cfg.local_mpb_uses_port) {
     co_await chip_->engine().sleep(cfg.t_mpb_port);
   } else {
-    co_await chip_->mpb_port(noc::tile_index_of_core(owner))
+    co_await chip_->mpb_port(chip_->topology().tile_index_of_core(owner))
         .use(cfg.t_mpb_port, /*priority=*/id_);
   }
   // The line becomes visible (and its trigger fires) here — before the
@@ -278,11 +278,10 @@ sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
       out = chip_->memory(id_).load(offset);
       co_return;
     }
-    const int routers = noc::routers_traversed(tile_, mc_tile_);
-    const sim::Duration wire = chip_->mesh().uncontended_latency(routers);
-    co_await chip_->engine().hop(SccChip::lane_of_tile(mc_tile_),
+    const sim::Duration wire = chip_->mesh().uncontended_latency(tile_, mc_tile_);
+    co_await chip_->engine().hop(chip_->lane_of_tile(mc_tile_),
                                  now() + cfg.o_mem_core_read + wire);
-    co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
+    co_await chip_->mc_port(mc_index_).use(cfg.t_mc_port, id_);
     out = chip_->memory(id_).load(offset);
     if (cfg.cache_enabled) cache_.insert(offset);
     co_await chip_->engine().sleep(wire);
@@ -301,7 +300,7 @@ sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
   }
   co_await core_overhead(cfg.o_mem_core_read);
   co_await chip_->mesh().traverse(tile_, mc_tile_);
-  co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
+  co_await chip_->mc_port(mc_index_).use(cfg.t_mc_port, id_);
   out = chip_->memory(id_).load(offset);
   if (chip_->observing()) {
     chip_->observe_read({TraceOp::kMemRead, id_, id_, offset, now()}, out);
@@ -316,11 +315,10 @@ sim::Task<void> Core::mem_read_line(std::size_t offset, CacheLine& out) {
 sim::Task<void> Core::mem_write_line(std::size_t offset, CacheLine value) {
   const SccConfig& cfg = chip_->config();
   if (chip_->pdes_active()) {
-    const int routers = noc::routers_traversed(tile_, mc_tile_);
-    const sim::Duration wire = chip_->mesh().uncontended_latency(routers);
-    co_await chip_->engine().hop(SccChip::lane_of_tile(mc_tile_),
+    const sim::Duration wire = chip_->mesh().uncontended_latency(tile_, mc_tile_);
+    co_await chip_->engine().hop(chip_->lane_of_tile(mc_tile_),
                                  now() + cfg.o_mem_core_write + wire);
-    co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
+    co_await chip_->mc_port(mc_index_).use(cfg.t_mc_port, id_);
     chip_->memory(id_).store(offset, value);
     if (cfg.cache_enabled) cache_.insert(offset);
     co_await chip_->engine().sleep(wire);
@@ -332,7 +330,7 @@ sim::Task<void> Core::mem_write_line(std::size_t offset, CacheLine value) {
   // §5.2.2 "resend from cache" effect) but the off-chip cost is always paid.
   co_await core_overhead(cfg.o_mem_core_write);
   co_await chip_->mesh().traverse(tile_, mc_tile_);
-  co_await chip_->mc_port(noc::mc_index_for_core(id_)).use(cfg.t_mc_port, id_);
+  co_await chip_->mc_port(mc_index_).use(cfg.t_mc_port, id_);
   bool commit = true;
   if (chip_->observing()) {
     commit = chip_->observe_write({TraceOp::kMemWrite, id_, id_, offset, now()},
@@ -353,16 +351,15 @@ sim::Task<void> Core::core_overhead(sim::Duration d) {
 }
 
 sim::Task<void> Core::send_interrupt(CoreId target) {
-  noc::require_core(target);
+  chip_->topology().require_core(target);
   const SccConfig& cfg = chip_->config();
   if (chip_->pdes_active()) {
     // Interrupt state (pending count + trigger) is confined to the
     // target's home lane: the send hops there, and wait/poll require the
     // target chain to be resting there (see below).
-    const noc::TileCoord target_tile = noc::tile_of_core(target);
-    const int routers = noc::routers_traversed(tile_, target_tile);
-    const sim::Duration wire = chip_->mesh().uncontended_latency(routers);
-    co_await chip_->engine().hop(SccChip::lane_of_core(target),
+    const noc::TileCoord target_tile = chip_->topology().tile_of_core(target);
+    const sim::Duration wire = chip_->mesh().uncontended_latency(tile_, target_tile);
+    co_await chip_->engine().hop(chip_->lane_of_core(target),
                                  now() + cfg.o_ipi_send + wire);
     co_await chip_->engine().sleep(cfg.t_ipi_service);
     chip_->core(target).raise_interrupt();
@@ -371,18 +368,18 @@ sim::Task<void> Core::send_interrupt(CoreId target) {
   }
   if (chip_->observing()) co_await observer_gate();
   co_await core_overhead(cfg.o_ipi_send);
-  co_await chip_->mesh().traverse(tile_, noc::tile_of_core(target));
+  co_await chip_->mesh().traverse(tile_, chip_->topology().tile_of_core(target));
   co_await chip_->engine().sleep(cfg.t_ipi_service);
   if (chip_->observing()) {
     chip_->observe_sync({SyncOp::kIpiSend, id_, target, 0, 0, now()});
   }
   chip_->core(target).raise_interrupt();
-  co_await chip_->mesh().traverse(noc::tile_of_core(target), tile_);
+  co_await chip_->mesh().traverse(chip_->topology().tile_of_core(target), tile_);
 }
 
 sim::Task<void> Core::wait_interrupt() {
   if (chip_->pdes_active()) {
-    OCB_REQUIRE(chip_->engine().current_lane() == SccChip::lane_of_core(id_),
+    OCB_REQUIRE(chip_->engine().current_lane() == chip_->lane_of_core(id_),
                 "wait_interrupt under PDES requires the chain to rest on the "
                 "core's home lane (interrupt state is lane-confined)");
   }
@@ -401,7 +398,7 @@ sim::Task<void> Core::wait_interrupt() {
 
 sim::Task<bool> Core::poll_interrupt() {
   if (chip_->pdes_active()) {
-    OCB_REQUIRE(chip_->engine().current_lane() == SccChip::lane_of_core(id_),
+    OCB_REQUIRE(chip_->engine().current_lane() == chip_->lane_of_core(id_),
                 "poll_interrupt under PDES requires the chain to rest on the "
                 "core's home lane (interrupt state is lane-confined)");
   }

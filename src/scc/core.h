@@ -184,6 +184,7 @@ class Core {
   CoreId id_;
   noc::TileCoord tile_;
   noc::TileCoord mc_tile_;
+  int mc_index_;
   int mem_distance_;
   DataCache cache_;
   Xoshiro256 rng_;

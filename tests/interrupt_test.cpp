@@ -146,7 +146,10 @@ TEST(IpiNotifier, TryAwaitInterleavesWithCompute) {
 TEST(IpiNotifier, RejectsBadArguments) {
   scc::SccChip chip;
   EXPECT_THROW(core::IpiNotifier(1), PreconditionError);
-  EXPECT_THROW(core::IpiNotifier(49), PreconditionError);
+  // 49 parties is legal at construction — the notifier has no chip to bound
+  // against, and a 49-core topology exists; send_interrupt validates each
+  // target against the chip at use.
+  EXPECT_NO_THROW(core::IpiNotifier(49));
   core::IpiNotifier notifier(4);
   bool threw = false;
   chip.spawn(0, [&](scc::Core& me) -> sim::Task<void> {
